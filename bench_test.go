@@ -1,0 +1,327 @@
+// Benchmarks regenerating the paper's tables and figures, one target
+// per artefact (see DESIGN.md §4 and EXPERIMENTS.md). The benchmark
+// bodies run reduced-size campaigns so `go test -bench=.` completes in
+// minutes; cmd/experiments -mode full reproduces the paper-scale runs.
+// Custom metrics report the headline quantity of each artefact (e.g.
+// simulated overhead) so shapes are visible straight from the bench
+// output.
+package respat_test
+
+import (
+	"fmt"
+	"testing"
+
+	"respat"
+	"respat/internal/analytic"
+	"respat/internal/core"
+	"respat/internal/harness"
+	"respat/internal/optimize"
+	"respat/internal/platform"
+	"respat/internal/twolevel"
+)
+
+// benchOpts is deliberately small; shapes remain stable because the
+// seed is fixed.
+func benchOpts() harness.Options { return harness.Options{Patterns: 30, Runs: 8, Seed: 1} }
+
+func pick6(b *testing.B, rows []harness.Fig6Row, k core.Kind) harness.Fig6Row {
+	b.Helper()
+	for _, r := range rows {
+		if r.Kind == k {
+			return r
+		}
+	}
+	b.Fatalf("missing %v", k)
+	return harness.Fig6Row{}
+}
+
+// BenchmarkTable1Plans regenerates Table 1 (all six families on all
+// four platforms) per iteration.
+func BenchmarkTable1Plans(b *testing.B) {
+	var rows []harness.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Table1(platform.Table2())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*rows[0].Plan.Overhead, "Hera-PD-H*-%")
+	b.ReportMetric(100*rows[5].Plan.Overhead, "Hera-PDMV-H*-%")
+}
+
+// BenchmarkTable2Derived regenerates the Table 2 derived MTBF figures.
+func BenchmarkTable2Derived(b *testing.B) {
+	var rows []harness.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table2()
+	}
+	b.ReportMetric(rows[0].FailMTBFDays, "Hera-MTBFf-days")
+	b.ReportMetric(rows[0].SilentMTBFDays, "Hera-MTBFs-days")
+}
+
+// BenchmarkFig6Overhead regenerates Figure 6a on Hera: predicted vs
+// simulated overhead for all six families.
+func BenchmarkFig6Overhead(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	var rows []harness.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Fig6([]platform.Platform{hera}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*pick6(b, rows, core.PD).Simulated, "PD-sim-%")
+	b.ReportMetric(100*pick6(b, rows, core.PDMV).Simulated, "PDMV-sim-%")
+	b.ReportMetric(100*pick6(b, rows, core.PDMV).Predicted, "PDMV-pred-%")
+}
+
+// BenchmarkFig6Periods regenerates Figure 6b: the optimal periods of
+// all patterns on all platforms (analytic).
+func BenchmarkFig6Periods(b *testing.B) {
+	var rows []harness.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Table1(platform.Table2())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Plan.W/3600, "Hera-PD-hours")
+	b.ReportMetric(rows[5].Plan.W/3600, "Hera-PDMV-hours")
+}
+
+// BenchmarkFig6Verifs regenerates Figure 6c on Hera: checkpoint and
+// verification frequencies of the partial-verification pattern.
+func BenchmarkFig6Verifs(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	var rows []harness.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Fig6([]platform.Platform{hera}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pick6(b, rows, core.PDV).VerifsPerHour, "PDV-verifs/h")
+	b.ReportMetric(pick6(b, rows, core.PDMV).VerifsPerHour, "PDMV-verifs/h")
+}
+
+// BenchmarkFig6Ckpts regenerates Figure 6d on Hera: checkpointing
+// frequencies of the two-level patterns.
+func BenchmarkFig6Ckpts(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	var rows []harness.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Fig6([]platform.Platform{hera}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pick6(b, rows, core.PDMV).DiskCkptsPerHour, "PDMV-disk/h")
+	b.ReportMetric(pick6(b, rows, core.PDMV).MemCkptsPerHour, "PDMV-mem/h")
+}
+
+// BenchmarkFig6Recoveries regenerates Figure 6e on Hera: recovery
+// frequencies.
+func BenchmarkFig6Recoveries(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	var rows []harness.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Fig6([]platform.Platform{hera}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pick6(b, rows, core.PDMV).DiskRecsPerDay, "PDMV-diskrec/day")
+	b.ReportMetric(pick6(b, rows, core.PDMV).MemRecsPerDay, "PDMV-memrec/day")
+}
+
+// BenchmarkFig7WeakScaling regenerates Figure 7 (CD=300, CM=15):
+// overhead growth of PD vs PDMV with the node count.
+func BenchmarkFig7WeakScaling(b *testing.B) {
+	kinds := []core.Kind{core.PD, core.PDMV}
+	var rows []harness.WeakRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.WeakScaling([]int{1 << 10, 1 << 14}, 300, 15, kinds, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Nodes == 1<<14 {
+			b.ReportMetric(100*r.Simulated, r.Kind.String()+"-16k-sim-%")
+		}
+	}
+}
+
+// BenchmarkFig8WeakScalingCheapDisk regenerates Figure 8 (CD=90).
+func BenchmarkFig8WeakScalingCheapDisk(b *testing.B) {
+	kinds := []core.Kind{core.PD, core.PDMV}
+	var rows []harness.WeakRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.WeakScaling([]int{1 << 10, 1 << 14}, 90, 15, kinds, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Nodes == 1<<14 {
+			b.ReportMetric(100*r.Simulated, r.Kind.String()+"-16k-sim-%")
+		}
+	}
+}
+
+// BenchmarkFig9Surfaces regenerates Figures 9a-9c: the overhead
+// surfaces of PD and PDMV over scaled (λf, λs) at 10^5 Hera nodes
+// (corner points).
+func BenchmarkFig9Surfaces(b *testing.B) {
+	kinds := []core.Kind{core.PD, core.PDMV}
+	grid := harness.Grid([]float64{0.2, 2})
+	var pts []harness.RatePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = harness.RateSweep(100000, grid, kinds, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.FailFactor == 2 && p.SilentFactor == 2 {
+			b.ReportMetric(100*p.Simulated, p.Kind.String()+"-2x2x-sim-%")
+		}
+	}
+}
+
+// BenchmarkFig9FailStopSweep regenerates Figures 9d-9g: the λf sweep
+// at nominal λs.
+func BenchmarkFig9FailStopSweep(b *testing.B) {
+	kinds := []core.Kind{core.PD, core.PDMV}
+	var pts []harness.RatePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = harness.RateSweep(100000, harness.AxisFail([]float64{0.2, 2}), kinds, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.Kind == core.PDMV {
+			b.ReportMetric(p.PeriodMinutes, "PDMV-period-min@"+formatFactor(p.FailFactor))
+		}
+	}
+}
+
+// BenchmarkFig9SilentSweep regenerates Figures 9h-9k: the λs sweep at
+// nominal λf.
+func BenchmarkFig9SilentSweep(b *testing.B) {
+	kinds := []core.Kind{core.PD, core.PDMV}
+	var pts []harness.RatePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = harness.RateSweep(100000, harness.AxisSilent([]float64{0.2, 2}), kinds, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.Kind == core.PD {
+			b.ReportMetric(p.PeriodMinutes, "PD-period-min@"+formatFactor(p.SilentFactor))
+		}
+	}
+}
+
+// BenchmarkAblationPlanners compares the first-order and exact-model
+// planners on Hera (not a paper artefact; quantifies the approximation).
+func BenchmarkAblationPlanners(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	var cmp optimize.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = optimize.Compare(core.PDMV, hera.Costs, hera.Rates)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*cmp.Regret, "regret-%")
+}
+
+// BenchmarkTwoLevelComparator optimises the related-work two-level
+// fail-stop protocol numerically (§4.1 remark: no closed form exists)
+// and reports its overhead next to the closed-form PDM solution for a
+// rate-matched configuration.
+func BenchmarkTwoLevelComparator(b *testing.B) {
+	p := twolevel.Params{
+		Lambda: 9.46e-7, LocalShare: 0.8,
+		LocalCkpt: 15.4, DiskCkpt: 300, LocalRec: 15.4, DiskRec: 300,
+	}
+	var plan twolevel.Plan
+	for i := 0; i < b.N; i++ {
+		var err error
+		plan, err = twolevel.Optimize(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*plan.Overhead, "twolevel-H*-%")
+	b.ReportMetric(float64(plan.N), "twolevel-n*")
+}
+
+// Micro-benchmarks for the core primitives.
+
+func BenchmarkOptimalPlan(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	for i := 0; i < b.N; i++ {
+		if _, err := analytic.Optimal(core.PDMV, hera.Costs, hera.Rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactExpectedTime(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	plan, err := analytic.Optimal(core.PDMV, hera.Costs, hera.Rates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analytic.ExactExpectedTime(plan.Pattern, hera.Costs, hera.Rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatePattern(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	plan, err := analytic.Optimal(core.PDMV, hera.Costs, hera.Rates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := respat.Simulate(respat.SimConfig{
+			Pattern: plan.Pattern, Costs: hera.Costs, Rates: hera.Rates,
+			Patterns: 10, Runs: 1, Seed: uint64(i), ErrorsInOps: true, Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustPlatform(b *testing.B, name string) platform.Platform {
+	b.Helper()
+	p, err := platform.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func formatFactor(f float64) string { return fmt.Sprintf("%gx", f) }

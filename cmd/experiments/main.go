@@ -1,0 +1,205 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section into an output directory, as aligned-text
+// and CSV files. See EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	experiments -out results -mode fast            # minutes
+//	experiments -out results -mode full            # paper scale (hours)
+//	experiments -out results -only t1,f6,f9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"respat/internal/core"
+	"respat/internal/harness"
+	"respat/internal/platform"
+	"respat/internal/report"
+	"respat/internal/viz"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "results", "output directory")
+		mode = flag.String("mode", "fast", "campaign size: fast | medium | full")
+		only = flag.String("only", "", "comma-separated experiment ids (t1,t2,f6,f7,f8,f9,ablation); empty = all")
+	)
+	flag.Parse()
+	if err := run(*out, *mode, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, mode, only string) error {
+	var opts harness.Options
+	switch mode {
+	case "fast":
+		opts = harness.Fast()
+	case "medium":
+		opts = harness.Medium()
+	case "full":
+		opts = harness.Full()
+	default:
+		return fmt.Errorf("unknown mode %q (fast|medium|full)", mode)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	if sel("t1") {
+		fmt.Println("== T1: Table 1 instantiation ==")
+		rows, err := harness.Table1(platform.Table2())
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "table1", harness.RenderTable1(rows)); err != nil {
+			return err
+		}
+	}
+	if sel("t2") {
+		fmt.Println("== T2: Table 2 platforms ==")
+		if err := emit(out, "table2", harness.RenderTable2(harness.Table2())); err != nil {
+			return err
+		}
+	}
+	if sel("f6") {
+		fmt.Println("== F6: patterns on real platforms ==")
+		rows, err := harness.Fig6(platform.Table2(), opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig6", harness.RenderFig6(rows)); err != nil {
+			return err
+		}
+		if err := emitChart(out, "fig6a_hera_plot", harness.Fig6Chart("Hera", rows)); err != nil {
+			return err
+		}
+	}
+	both := []core.Kind{core.PD, core.PDMV}
+	nodes := []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 15, 1 << 16, 1 << 17, 1 << 18}
+	if sel("f7") {
+		fmt.Println("== F7: weak scaling, CD=300 CM=15 ==")
+		rows, err := harness.WeakScaling(nodes, 300, 15, both, opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig7", harness.RenderWeakScaling("Figure 7: weak scaling (CD=300, CM=15)", rows)); err != nil {
+			return err
+		}
+		if err := emitChart(out, "fig7a_plot", harness.WeakScalingChart("Figure 7a", rows)); err != nil {
+			return err
+		}
+	}
+	if sel("f8") {
+		fmt.Println("== F8: weak scaling, CD=90 CM=15 ==")
+		rows, err := harness.WeakScaling(nodes, 90, 15, both, opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig8", harness.RenderWeakScaling("Figure 8: weak scaling (CD=90, CM=15)", rows)); err != nil {
+			return err
+		}
+		if err := emitChart(out, "fig8a_plot", harness.WeakScalingChart("Figure 8a", rows)); err != nil {
+			return err
+		}
+	}
+	if sel("f9") {
+		const sweepNodes = 100000 // §6.4: Hera scaled to 10^5 nodes
+		factors := []float64{0.2, 0.5, 0.8, 1.1, 1.4, 1.7, 2.0}
+		if mode == "full" {
+			factors = []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0}
+		}
+		fmt.Println("== F9a-c: overhead surfaces over (lambda_f, lambda_s) ==")
+		surf, err := harness.RateSweep(sweepNodes, harness.Grid(factors), both, opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig9_surface", harness.RenderRateSweep("Figure 9a-c: overhead surfaces (Hera x 1e5 nodes)", surf)); err != nil {
+			return err
+		}
+		fmt.Println("== F9d-g: sweep over lambda_f ==")
+		fs, err := harness.RateSweep(sweepNodes, harness.AxisFail(factors), both, opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig9_fail", harness.RenderRateSweep("Figure 9d-g: lambda_f sweep (lambda_s nominal)", fs)); err != nil {
+			return err
+		}
+		if err := emitChart(out, "fig9d_plot", harness.RateSweepPeriodChart("Figure 9d", fs, false)); err != nil {
+			return err
+		}
+		fmt.Println("== F9h-k: sweep over lambda_s ==")
+		ss, err := harness.RateSweep(sweepNodes, harness.AxisSilent(factors), both, opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig9_silent", harness.RenderRateSweep("Figure 9h-k: lambda_s sweep (lambda_f nominal)", ss)); err != nil {
+			return err
+		}
+		if err := emitChart(out, "fig9h_plot", harness.RateSweepPeriodChart("Figure 9h", ss, true)); err != nil {
+			return err
+		}
+		if err := emitChart(out, "fig9_overhead_plot", harness.RateSweepOverheadChart("Figure 9a/9b slice", ss, true)); err != nil {
+			return err
+		}
+	}
+	if sel("ablation") {
+		fmt.Println("== Ablation: first-order vs exact-model plans ==")
+		rows, err := harness.Ablation(platform.Table2(), core.Kinds())
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "ablation", harness.RenderAblation(rows)); err != nil {
+			return err
+		}
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// emitChart writes an ASCII chart under dir and echoes it.
+func emitChart(dir, name string, c *viz.Chart) error {
+	f, err := os.Create(filepath.Join(dir, name+".txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Render(f); err != nil {
+		return err
+	}
+	return c.Render(os.Stdout)
+}
+
+// emit writes the table as .txt and .csv under dir and echoes it.
+func emit(dir, name string, t *report.Table) error {
+	txt, err := os.Create(filepath.Join(dir, name+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if err := t.Render(txt); err != nil {
+		return err
+	}
+	csvf, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvf.Close()
+	if err := t.WriteCSV(csvf); err != nil {
+		return err
+	}
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAnalyticExperiments(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "fast", "t1,t2,ablation"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"table1.txt", "table1.csv", "table2.txt", "ablation.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunSimulatedExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "fast", "f6"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig6.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty fig6.txt")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig6a_hera_plot.txt")); err != nil {
+		t.Errorf("missing chart: %v", err)
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run(t.TempDir(), "warp", ""); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func TestRunUnknownSelectionIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "fast", "nothing-matches"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("unexpected outputs: %v", entries)
+	}
+}

@@ -1,0 +1,96 @@
+// Command respat prints the optimal resilience pattern(s) of Table 1
+// for a platform, either one of the built-in Table 2 machines or
+// custom parameters.
+//
+// Usage:
+//
+//	respat -platform Hera                  # all six families on Hera
+//	respat -platform Coastal -pattern PDMV # one family
+//	respat -cd 300 -cm 15 -lf 9.46e-7 -ls 3.38e-6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"respat"
+	"respat/internal/analytic"
+	"respat/internal/harness"
+	"respat/internal/platform"
+	"respat/internal/report"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "", "built-in platform name (Hera, Atlas, Coastal, Coastal-SSD); overrides the cost/rate flags")
+		pattern  = flag.String("pattern", "all", "pattern family (PD, PDV*, PDV, PDM, PDMV*, PDMV) or 'all'")
+		cd       = flag.Float64("cd", 300, "disk checkpoint cost CD (s)")
+		cm       = flag.Float64("cm", 15.4, "memory checkpoint cost CM (s); V*=CM, V=CM/100, RD=CD, RM=CM")
+		lf       = flag.Float64("lf", 9.46e-7, "fail-stop error rate lambda_f (/s)")
+		ls       = flag.Float64("ls", 3.38e-6, "silent error rate lambda_s (/s)")
+		recall   = flag.Float64("recall", 0.8, "partial verification recall r")
+		exact    = flag.Bool("exact", false, "also compute the exact-model optimum (slower)")
+	)
+	flag.Parse()
+	if err := run(*platName, *pattern, *cd, *cm, *lf, *ls, *recall, *exact); err != nil {
+		fmt.Fprintln(os.Stderr, "respat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platName, pattern string, cd, cm, lf, ls, recall float64, exact bool) error {
+	var costs respat.Costs
+	var rates respat.Rates
+	name := "custom"
+	if platName != "" {
+		p, err := platform.ByName(platName)
+		if err != nil {
+			return err
+		}
+		costs, rates, name = p.Costs, p.Rates, p.Name
+	} else {
+		costs = respat.Costs{
+			DiskCkpt: cd, MemCkpt: cm, DiskRec: cd, MemRec: cm,
+			GuarVer: cm, PartVer: cm / 100, Recall: recall,
+		}
+		rates = respat.Rates{FailStop: lf, Silent: ls}
+	}
+
+	kinds := respat.Kinds()
+	if pattern != "all" {
+		k, err := respat.ParseKind(pattern)
+		if err != nil {
+			return err
+		}
+		kinds = []respat.Kind{k}
+	}
+
+	t := report.New(fmt.Sprintf("Optimal patterns for %s (MTBF %.1f h)", name, rates.MTBF()/3600),
+		"pattern", "W* (s)", "W* (h)", "n*", "m*", "H* (pred)", "H* (closed form)")
+	for _, k := range kinds {
+		plan, err := respat.Optimal(k, costs, rates)
+		if err != nil {
+			return err
+		}
+		t.AddRow(k.String(), report.Fixed(plan.W, 1), report.Fixed(plan.W/3600, 2),
+			report.I(plan.N), report.I(plan.M),
+			report.Pct(plan.Overhead, 3),
+			report.Pct(analytic.TableOverhead(k, costs, rates), 3))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if exact {
+		rows, err := harness.Ablation([]platform.Platform{{
+			Name: name, Nodes: 1, Costs: costs, Rates: rates,
+		}}, kinds)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		return harness.RenderAblation(rows).Render(os.Stdout)
+	}
+	return nil
+}

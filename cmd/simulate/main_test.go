@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunBasic(t *testing.T) {
+	if err := run("Hera", "PDMV", 10, 4, 1, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithWeakScalingAndTrace(t *testing.T) {
+	if err := run("Hera", "PD", 5, 2, 1, 1, 4096, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("Summit", "PD", 10, 4, 1, 0, 0, 0); err == nil {
+		t.Error("unknown platform should fail")
+	}
+	if err := run("Hera", "XYZ", 10, 4, 1, 0, 0, 0); err == nil {
+		t.Error("unknown family should fail")
+	}
+	if err := run("Hera", "PD", 10, 4, 1, 0, -5, 0); err == nil {
+		t.Error("negative node count should fail")
+	}
+	if err := run("Hera", "PD", 0, 4, 1, 0, 0, 0); err == nil {
+		t.Error("zero patterns should fail")
+	}
+}

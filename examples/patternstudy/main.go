@@ -1,0 +1,99 @@
+// Patternstudy explores the design space the paper's Table 1 spans:
+// how the optimal family and its overhead react to the quality of the
+// partial verification (cost V and recall r) and to the disk/memory
+// checkpoint cost ratio. It is pure analytics — no simulation — and
+// reproduces the paper's qualitative conclusions: partial
+// verifications pay off exactly when their accuracy-to-cost ratio
+// beats the guaranteed verification, and two-level checkpointing wins
+// whenever CD >> CM.
+//
+// Run with:
+//
+//	go run ./examples/patternstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"respat"
+	"respat/internal/report"
+)
+
+func main() {
+	hera, err := respat.PlatformByName("Hera")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep the partial-verification recall at fixed cost.
+	t1 := report.New("PDMV on Hera vs partial-verification recall (V = V*/100)",
+		"recall r", "acc-to-cost ratio", "m*", "H*(PDMV)", "H*(PDMV*)", "partial wins")
+	for _, r := range []float64{0.1, 0.3, 0.5, 0.8, 0.95, 1.0} {
+		c := hera.Costs
+		c.Recall = r
+		pdmv, err := respat.Optimal(respat.PDMV, c, hera.Rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		star, err := respat.Optimal(respat.PDMVStar, c, hera.Rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t1.AddRow(report.Fixed(r, 2), report.Fixed(c.AccuracyToCost(), 0),
+			report.I(pdmv.M),
+			report.Pct(pdmv.Overhead, 3), report.Pct(star.Overhead, 3),
+			fmt.Sprint(pdmv.Overhead < star.Overhead))
+	}
+	must(t1.Render(os.Stdout))
+	fmt.Println()
+
+	// Sweep the partial-verification cost at fixed recall.
+	t2 := report.New("PDMV on Hera vs partial-verification cost (r = 0.8)",
+		"V / V*", "m*", "H*(PDMV)", "H*(PDMV*)", "partial wins")
+	for _, frac := range []float64{0.001, 0.01, 0.05, 0.2, 0.5, 1.0} {
+		c := hera.Costs
+		c.PartVer = frac * c.GuarVer
+		pdmv, err := respat.Optimal(respat.PDMV, c, hera.Rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		star, err := respat.Optimal(respat.PDMVStar, c, hera.Rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2.AddRow(report.Fixed(frac, 3), report.I(pdmv.M),
+			report.Pct(pdmv.Overhead, 3), report.Pct(star.Overhead, 3),
+			fmt.Sprint(pdmv.Overhead < star.Overhead))
+	}
+	must(t2.Render(os.Stdout))
+	fmt.Println()
+
+	// Sweep the disk/memory cost ratio: when disk checkpoints are
+	// barely more expensive than memory ones, the second level stops
+	// paying for itself.
+	t3 := report.New("Two-level benefit on Hera vs disk checkpoint cost (CM = 15.4)",
+		"CD (s)", "n*(PDM)", "H*(PD)", "H*(PDM)", "saving")
+	for _, cd := range []float64{15.4, 30, 75, 150, 300, 1000, 2500} {
+		p := hera.WithDiskCost(cd)
+		pd, err := respat.Optimal(respat.PD, p.Costs, p.Rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pdm, err := respat.Optimal(respat.PDM, p.Costs, p.Rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t3.AddRow(report.Fixed(cd, 1), report.I(pdm.N),
+			report.Pct(pd.Overhead, 3), report.Pct(pdm.Overhead, 3),
+			report.Pct(pd.Overhead-pdm.Overhead, 3))
+	}
+	must(t3.Render(os.Stdout))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"respat/internal/core"
+)
+
+// EventRates predicts the steady-state operation frequencies of a
+// pattern — the quantities plotted in Figures 6c-6e of the paper.
+// Rates are per second of wall-clock time; multiply by 3600 or 86400
+// for the per-hour and per-day figures.
+//
+// The derivation is first-order: one pattern occupies W(1+H) seconds
+// of wall clock where H is the expected overhead, and in that span it
+// completes one disk checkpoint, n memory checkpoints, n guaranteed
+// verifications and n(m-1) interior verifications. Disk recoveries
+// happen at the fail-stop rate λf (every fail-stop error forces one).
+// Standalone memory recoveries happen at the rate of *detected,
+// unmasked* silent errors: corruptions arrive at λs on computation
+// time — a fraction W/(W(1+H)) of wall time — and a corruption is
+// masked when a fail-stop error wipes it before its verification
+// triggers, a second-order effect bounded by MaskedShare.
+type EventRatesOut struct {
+	DiskCkpts  float64 // completed disk checkpoints /s
+	MemCkpts   float64 // completed memory checkpoints /s
+	GuarVerifs float64 // guaranteed verifications /s
+	PartVerifs float64 // interior (partial) verifications /s
+	DiskRecs   float64 // disk recoveries /s
+	MemRecs    float64 // standalone memory recoveries /s
+	// MaskedShare estimates the fraction of silent errors wiped by a
+	// fail-stop error before detection.
+	MaskedShare float64
+}
+
+// EventRates computes the predicted frequencies for a plan.
+func EventRates(p Plan, c core.Costs, r core.Rates) EventRatesOut {
+	wall := p.W * (1 + p.Overhead) // expected wall-clock per pattern
+	perPattern := 1 / wall
+	n := float64(p.N)
+	m := float64(p.M)
+	var out EventRatesOut
+	out.DiskCkpts = perPattern
+	out.MemCkpts = n * perPattern
+	out.GuarVerifs = n * perPattern
+	out.PartVerifs = n * (m - 1) * perPattern
+	out.DiskRecs = r.FailStop
+	// A corruption struck at a uniformly random point of a segment is
+	// masked if a fail-stop error arrives before the segment's
+	// guaranteed verification; the exposure is at most one segment,
+	// W/n work plus its verification overhead, i.e. roughly half a
+	// segment on average.
+	segWall := wall / n
+	out.MaskedShare = 1 - math.Exp(-r.FailStop*segWall/2)
+	computeShare := p.W / wall
+	out.MemRecs = r.Silent * computeShare * (1 - out.MaskedShare)
+	return out
+}
+
+// Makespan estimates the total wall-clock of an application of wbase
+// seconds of base (resilience-free) work executed under the plan, via
+// the Section 2.4 approximation W_final ≈ (E(P)/W)·W_base =
+// (1 + H)·W_base.
+func Makespan(p Plan, wbase float64) float64 {
+	return (1 + p.Overhead) * wbase
+}
+
+// ExactExpectedTimeWithOpErrors evaluates the exact expected pattern
+// time under the Section 5 model, where fail-stop errors also strike
+// verifications, checkpoints and recoveries. It combines the exact
+// renewal evaluator with the expected-operation-cost recursions
+// (Equations 30-33) through a fixed-point iteration: the op costs
+// depend on the expected re-execution time E(T_rec), which depends on
+// the pattern time computed with those op costs. The iteration
+// converges geometrically (the coupling is O(λ·cost)); a handful of
+// rounds reaches float64 precision at realistic MTBFs.
+//
+// Verification costs are folded into their preceding chunks for
+// fail-stop exposure (the Section 5 treatment), which matches the
+// simulator's ErrorsInOps mode to first order; the residual gap is
+// O(λ²) and covered by the simulator cross-validation tests.
+func ExactExpectedTimeWithOpErrors(p core.Pattern, c core.Costs, r core.Rates) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	// Start from the ops-error-free evaluation.
+	e, err := exactWithVerifExposure(p, c, r)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < 20; i++ {
+		// Use the current pattern-time estimate as E(T_rec): an upper
+		// bound for mid-pattern failures, tight for end-of-pattern ones.
+		oc := ExpectedOpCosts(c, r.FailStop, e/2)
+		adjusted := c
+		adjusted.DiskRec = oc.DiskRec
+		adjusted.MemRec = oc.MemRec
+		adjusted.DiskCkpt = oc.DiskCkpt
+		adjusted.MemCkpt = oc.MemCkpt
+		next, err := exactWithVerifExposure(p, adjusted, r)
+		if err != nil {
+			return 0, err
+		}
+		if math.Abs(next-e) <= 1e-12*math.Abs(next) {
+			return next, nil
+		}
+		e = next
+	}
+	return e, nil
+}
+
+// exactWithVerifExposure is the exact evaluator with each chunk's
+// fail-stop exposure extended by its trailing verification, the §5
+// treatment of verification failures.
+func exactWithVerifExposure(p core.Pattern, c core.Costs, r core.Rates) (float64, error) {
+	recall := c.Recall
+	if p.InteriorGuaranteed {
+		recall = 1
+	}
+	interiorCost := c.PartVer
+	if p.InteriorGuaranteed {
+		interiorCost = c.GuarVer
+	}
+	var prevSum float64
+	var total float64
+	for i := 0; i < p.N(); i++ {
+		ei := segmentTimeVerifExposed(p, c, r, i, prevSum, recall, interiorCost)
+		if math.IsInf(ei, 1) || math.IsNaN(ei) {
+			return 0, fmt.Errorf("analytic: expected time diverged at segment %d", i)
+		}
+		total += ei
+		prevSum += ei
+	}
+	total += c.DiskCkpt
+	return total, nil
+}
+
+// segmentTimeVerifExposed mirrors exactSegmentTime with the chunk+verif
+// exposure of Section 5: the probability of a fail-stop interruption
+// covers w+V, and the expected loss is computed over w+V.
+func segmentTimeVerifExposed(p core.Pattern, c core.Costs, r core.Rates, i int, prevSum, recall, interiorCost float64) float64 {
+	m := p.M(i)
+	var s float64
+	prodPf := 1.0
+	prodPs := 1.0
+	g := 0.0
+	piAll := 1.0
+	for j := 0; j < m; j++ {
+		w := p.ChunkWork(i, j)
+		verif := interiorCost
+		if j == m-1 {
+			verif = c.GuarVer
+		}
+		exposed := w + verif
+		pf := probAtLeastOne(r.FailStop, exposed)
+		ps := probAtLeastOne(r.Silent, w)
+		q := prodPf * (prodPs + g)
+		if pf > 0 {
+			s += q * pf * (ExpectedLost(r.FailStop, exposed) + c.DiskRec + prevSum)
+		}
+		s += q * (1 - pf) * exposed
+		g = (g + prodPs*ps) * (1 - recall)
+		prodPs *= 1 - ps
+		prodPf *= 1 - pf
+		piAll *= (1 - pf) * (1 - ps)
+	}
+	return c.MemCkpt + ((1-piAll)*c.MemRec+s)/piAll
+}

@@ -1,0 +1,121 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"respat/internal/core"
+	"respat/internal/xmath"
+)
+
+func TestEventRatesHeraPDMV(t *testing.T) {
+	c, r := hera()
+	plan, err := Optimal(core.PDMV, c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := EventRates(plan, c, r)
+	// One disk checkpoint per pattern: ~0.137/hour at W*~7h.
+	if got := er.DiskCkpts * 3600; math.Abs(got-0.137) > 0.01 {
+		t.Errorf("disk ckpts/hour = %v, want ~0.137", got)
+	}
+	// n per pattern memory checkpoints.
+	if !xmath.Close(er.MemCkpts, float64(plan.N)*er.DiskCkpts, 1e-12) {
+		t.Errorf("mem ckpt rate %v != n x disk rate", er.MemCkpts)
+	}
+	// Disk recoveries per day track λf: 0.0817.
+	if got := er.DiskRecs * 86400; math.Abs(got-0.0817) > 0.001 {
+		t.Errorf("disk recs/day = %v, want ~0.0817", got)
+	}
+	// Memory recoveries per day slightly below the silent rate (~0.29).
+	memPerDay := er.MemRecs * 86400
+	silentPerDay := r.Silent * 86400
+	if !(memPerDay < silentPerDay && memPerDay > 0.8*silentPerDay) {
+		t.Errorf("mem recs/day = %v, want a bit below %v", memPerDay, silentPerDay)
+	}
+	// Verification totals: n(m-1) partial + n guaranteed per pattern.
+	wantVerifs := float64(plan.N*(plan.M-1)+plan.N) * er.DiskCkpts
+	if !xmath.Close(er.PartVerifs+er.GuarVerifs, wantVerifs, 1e-12) {
+		t.Errorf("verif rate = %v, want %v", er.PartVerifs+er.GuarVerifs, wantVerifs)
+	}
+	if er.MaskedShare < 0 || er.MaskedShare > 0.01 {
+		t.Errorf("masked share = %v, want tiny at Hera scale", er.MaskedShare)
+	}
+}
+
+func TestEventRatesMaskedShareGrowsWithFailRate(t *testing.T) {
+	c, r := hera()
+	plan, err := Optimal(core.PDMV, c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := EventRates(plan, c, r)
+	high := EventRates(plan, c, r.Scale(100, 1))
+	if !(high.MaskedShare > low.MaskedShare) {
+		t.Errorf("masked share should grow with lambda_f: %v vs %v", high.MaskedShare, low.MaskedShare)
+	}
+}
+
+func TestExactWithOpErrorsExceedsPlainExact(t *testing.T) {
+	// Exposing operations to failures can only lengthen the execution.
+	c, r := hera()
+	for _, k := range core.Kinds() {
+		plan, err := Optimal(k, c, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := ExactExpectedTime(plan.Pattern, c, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withOps, err := ExactExpectedTimeWithOpErrors(plan.Pattern, c, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withOps <= plain {
+			t.Errorf("%v: with-op-errors %v <= plain %v", k, withOps, plain)
+		}
+		// At Hera MTBFs the difference is a small correction (<1%).
+		if (withOps-plain)/plain > 0.01 {
+			t.Errorf("%v: op-error correction %v too large", k, (withOps-plain)/plain)
+		}
+	}
+}
+
+func TestExactWithOpErrorsZeroFailRate(t *testing.T) {
+	// Without fail-stop errors the two evaluators coincide: silent
+	// errors never strike operations.
+	c, _ := hera()
+	p, err := core.Layout(core.PDV, 9000, 1, 4, c.Recall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.Rates{Silent: 3.38e-6}
+	plain, err := ExactExpectedTime(p, c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOps, err := ExactExpectedTimeWithOpErrors(p, c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmath.Close(plain, withOps, 1e-9) {
+		t.Errorf("zero lambda_f: %v vs %v", plain, withOps)
+	}
+}
+
+func TestExactWithOpErrorsValidation(t *testing.T) {
+	c, r := hera()
+	if _, err := ExactExpectedTimeWithOpErrors(core.Pattern{}, c, r); err == nil {
+		t.Error("invalid pattern should fail")
+	}
+	p, _ := core.Layout(core.PD, 100, 1, 1, 1)
+	bad := c
+	bad.DiskCkpt = math.NaN()
+	if _, err := ExactExpectedTimeWithOpErrors(p, bad, r); err == nil {
+		t.Error("invalid costs should fail")
+	}
+	if _, err := ExactExpectedTimeWithOpErrors(p, c, core.Rates{FailStop: -1}); err == nil {
+		t.Error("invalid rates should fail")
+	}
+}

@@ -1,0 +1,575 @@
+// Package engine is the resilience runtime: it executes a real
+// application under a computational pattern (Section 2 protocol),
+// managing two-level checkpoints (in-memory and disk), guaranteed and
+// partial verifications, and recovery from injected fail-stop and
+// silent errors. The Monte-Carlo simulator (internal/sim) predicts the
+// performance of a pattern; the engine actually runs one, on real
+// state, with real snapshot/restore and real (or oracle) detectors.
+//
+// Time is virtual: operations advance a clock by their configured
+// costs, and error arrivals are driven by exposure clocks exactly as
+// in internal/sim, so an engine run and a simulator run fed the same
+// arrival traces produce identical timelines — a property the tests
+// assert.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"respat/internal/core"
+	"respat/internal/faults"
+)
+
+// Application is the computation protected by the engine. Advance must
+// be deterministic for the engine's rollback guarantee to reproduce
+// the fault-free result.
+type Application interface {
+	// Advance performs `work` seconds of computation at unit speed.
+	Advance(work float64) error
+	// Snapshot serialises the complete application state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the application state from a snapshot.
+	Restore(data []byte) error
+}
+
+// Verifier checks the application for silent data corruption.
+// Check returns clean=false when corruption is detected.
+type Verifier interface {
+	Check(app Application) (clean bool, err error)
+}
+
+// Level identifies a checkpoint storage level.
+type Level int
+
+// The two checkpoint levels of the protocol.
+const (
+	Memory Level = iota
+	Disk
+)
+
+// Storage persists checkpoints at the two levels.
+type Storage interface {
+	Save(level Level, data []byte) error
+	Load(level Level) ([]byte, error)
+}
+
+// MemStorage keeps both levels in process memory. It is the fastest
+// backend and the right one for simulated-disk experiments.
+type MemStorage struct {
+	mem  []byte
+	disk []byte
+}
+
+// Save stores a copy of data at the given level. An empty snapshot is
+// a valid checkpoint (stateless applications), hence the non-nil copy.
+func (s *MemStorage) Save(level Level, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if level == Memory {
+		s.mem = cp
+	} else {
+		s.disk = cp
+	}
+	return nil
+}
+
+// Load returns a copy of the checkpoint at the given level.
+func (s *MemStorage) Load(level Level) ([]byte, error) {
+	src := s.mem
+	if level == Disk {
+		src = s.disk
+	}
+	if src == nil {
+		return nil, fmt.Errorf("engine: no checkpoint at level %d", level)
+	}
+	return append([]byte(nil), src...), nil
+}
+
+// DirStorage keeps the memory level in process memory and the disk
+// level in a file, exercising a real I/O path.
+type DirStorage struct {
+	mem  []byte
+	path string
+}
+
+// NewDirStorage creates a DirStorage writing its disk checkpoints to
+// dir/checkpoint.bin.
+func NewDirStorage(dir string) (*DirStorage, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: checkpoint dir: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("engine: checkpoint path %s is not a directory", dir)
+	}
+	return &DirStorage{path: filepath.Join(dir, "checkpoint.bin")}, nil
+}
+
+// Save stores data at the given level (the disk level hits the file
+// system).
+func (s *DirStorage) Save(level Level, data []byte) error {
+	if level == Memory {
+		s.mem = make([]byte, len(data))
+		copy(s.mem, data)
+		return nil
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path) // atomic replace: a crash never leaves a torn checkpoint
+}
+
+// Load retrieves the checkpoint at the given level.
+func (s *DirStorage) Load(level Level) ([]byte, error) {
+	if level == Memory {
+		if s.mem == nil {
+			return nil, errors.New("engine: no memory checkpoint")
+		}
+		return append([]byte(nil), s.mem...), nil
+	}
+	return os.ReadFile(s.path)
+}
+
+// Config assembles an engine run.
+type Config struct {
+	App     Application
+	Pattern core.Pattern
+	Costs   core.Costs
+	// Patterns is the number of pattern instances to execute.
+	Patterns int
+	// Storage backs the two checkpoint levels; nil selects MemStorage.
+	Storage Storage
+	// FailStop and Silent supply error arrivals on exposure clocks
+	// (see internal/sim); nil means no errors of that type.
+	FailStop faults.Source
+	Silent   faults.Source
+	// Corrupt applies one silent corruption to the application. It is
+	// called at each Silent arrival; nil leaves state untouched (the
+	// corruption is still tracked for oracle detection).
+	Corrupt func(app Application) error
+	// Guaranteed verifies at segment ends; nil selects the oracle that
+	// flags exactly the injected corruptions (recall 1), matching the
+	// model's assumption of a guaranteed verification.
+	Guaranteed Verifier
+	// Partial verifies at interior chunk boundaries; nil selects an
+	// oracle detecting injected corruptions with probability
+	// Costs.Recall using the Detect stream. A custom verifier may miss
+	// corruptions (reduced recall) but must not report *persistent*
+	// false positives: the replay after a rollback is deterministic, so
+	// a detector that always mis-flags a clean state livelocks the
+	// protocol, exactly as it would in a real deployment.
+	Partial Verifier
+	// Detect drives oracle partial detection; nil seeds a fresh
+	// deterministic stream.
+	Detect *faults.Bernoulli
+	// ErrorsInOps exposes verifications, checkpoints and recoveries to
+	// fail-stop errors (Section 5 semantics).
+	ErrorsInOps bool
+}
+
+// Report summarises an engine run.
+type Report struct {
+	// Time is the total virtual wall-clock in seconds.
+	Time float64
+	// Work is the useful work completed (Patterns × W).
+	Work float64
+	// Overhead is (Time - Work) / Work.
+	Overhead float64
+	// Event counters, with the same semantics as sim.Counters.
+	FailStop     int64
+	Silent       int64
+	DiskCkpts    int64
+	MemCkpts     int64
+	PartVerifs   int64
+	GuarVerifs   int64
+	DiskRecs     int64
+	MemRecs      int64
+	DetectByPart int64
+	DetectByGuar int64
+	// FinalTainted reports whether the final state carries an
+	// undetected corruption (only possible with an imperfect
+	// user-supplied guaranteed verifier).
+	FinalTainted bool
+}
+
+// Run executes the configured number of patterns and returns the
+// report. The application ends in the state a fault-free execution
+// would produce, provided the guaranteed verifier catches every
+// corruption (the oracle always does).
+func Run(cfg Config) (Report, error) {
+	if cfg.App == nil {
+		return Report{}, errors.New("engine: nil App")
+	}
+	if err := cfg.Pattern.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		return Report{}, err
+	}
+	if cfg.Patterns <= 0 {
+		return Report{}, fmt.Errorf("engine: Patterns = %d, need > 0", cfg.Patterns)
+	}
+	e := &exec{cfg: cfg}
+	if e.cfg.Storage == nil {
+		e.cfg.Storage = &MemStorage{}
+	}
+	if e.cfg.FailStop == nil {
+		e.cfg.FailStop = faults.Never{}
+	}
+	if e.cfg.Silent == nil {
+		e.cfg.Silent = faults.Never{}
+	}
+	if e.cfg.Detect == nil {
+		e.cfg.Detect = faults.NewBernoulli(0x5eed, 0xdee7)
+	}
+	e.fail = newClock(e.cfg.FailStop)
+	e.silent = newClock(e.cfg.Silent)
+	e.sched = cfg.Pattern.Schedule()
+	e.segStart = make([]int, cfg.Pattern.N())
+	seen := 0
+	for i, a := range e.sched {
+		if a.Op == core.OpChunk && a.Chunk == 0 && a.Segment == seen {
+			e.segStart[seen] = i
+			seen++
+		}
+	}
+	if err := e.initialCheckpoint(); err != nil {
+		return Report{}, err
+	}
+	for p := 0; p < cfg.Patterns; p++ {
+		if err := e.runPattern(); err != nil {
+			return Report{}, err
+		}
+	}
+	e.rep.Work = cfg.Pattern.W * float64(cfg.Patterns)
+	e.rep.Time = e.now
+	e.rep.Overhead = (e.rep.Time - e.rep.Work) / e.rep.Work
+	e.rep.FinalTainted = e.corrupted
+	return e.rep, nil
+}
+
+// clock drives one error source on an exposure clock (see sim).
+type clock struct {
+	src      faults.Source
+	exposure float64
+	next     float64
+}
+
+func newClock(src faults.Source) clock {
+	return clock{src: src, next: src.Next(0)}
+}
+
+func (c *clock) within(d float64) (float64, bool) {
+	dt := c.next - c.exposure
+	return dt, dt <= d
+}
+
+func (c *clock) advance(d float64) { c.exposure += d }
+
+func (c *clock) consume() {
+	c.exposure = c.next
+	c.next = c.src.Next(c.exposure)
+}
+
+type exec struct {
+	cfg      Config
+	sched    []core.Action
+	segStart []int
+	fail     clock
+	silent   clock
+	now      float64
+	rep      Report
+	// Ground-truth corruption tracking. The engine injects the
+	// corruptions, so it knows which snapshots are tainted; protocol
+	// decisions still come only from the verifiers.
+	corrupted   bool
+	memTainted  bool
+	diskTainted bool
+}
+
+// initialCheckpoint persists the pristine initial state at both levels
+// (the "initial data" the first pattern recovers to, Section 2.2).
+func (e *exec) initialCheckpoint() error {
+	snap, err := e.cfg.App.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := e.cfg.Storage.Save(Memory, snap); err != nil {
+		return err
+	}
+	return e.cfg.Storage.Save(Disk, snap)
+}
+
+type stepResult int
+
+const (
+	stepOK stepResult = iota
+	stepFailStop
+	stepDetected
+)
+
+func (e *exec) runPattern() error {
+	i := 0
+	for i < len(e.sched) {
+		a := e.sched[i]
+		var res stepResult
+		var err error
+		switch a.Op {
+		case core.OpChunk:
+			res, err = e.chunk(a.Work)
+		case core.OpPartVer:
+			res, err = e.verify(true)
+		case core.OpGuarVer:
+			res, err = e.verify(false)
+		case core.OpMemCkpt:
+			res, err = e.memCkpt()
+		case core.OpDisk:
+			res, err = e.diskCkpt()
+		}
+		if err != nil {
+			return err
+		}
+		switch res {
+		case stepOK:
+			i++
+		case stepFailStop:
+			if err := e.diskRecovery(); err != nil {
+				return err
+			}
+			i = 0
+		case stepDetected:
+			ok, err := e.memRecovery()
+			if err != nil {
+				return err
+			}
+			if ok {
+				i = e.segStart[a.Segment]
+			} else {
+				i = 0 // escalated to disk recovery
+			}
+		}
+	}
+	return nil
+}
+
+// chunk advances the application by w seconds of computation, applying
+// silent corruptions at their arrival offsets and stopping at a
+// fail-stop arrival.
+func (e *exec) chunk(w float64) (stepResult, error) {
+	remaining := w
+	for remaining > 0 {
+		fdt, fHit := e.fail.within(remaining)
+		sdt, sHit := e.silent.within(remaining)
+		if sHit && (!fHit || sdt <= fdt) {
+			if err := e.cfg.App.Advance(sdt); err != nil {
+				return 0, err
+			}
+			e.silent.consume()
+			e.fail.advance(sdt)
+			e.now += sdt
+			remaining -= sdt
+			e.corrupted = true
+			e.rep.Silent++
+			if e.cfg.Corrupt != nil {
+				if err := e.cfg.Corrupt(e.cfg.App); err != nil {
+					return 0, err
+				}
+			}
+			continue
+		}
+		if fHit {
+			// The machine dies mid-chunk; partial progress is lost with
+			// the memory, so Advance is not called for it.
+			e.fail.consume()
+			e.silent.advance(fdt)
+			e.now += fdt
+			e.rep.FailStop++
+			return stepFailStop, nil
+		}
+		if err := e.cfg.App.Advance(remaining); err != nil {
+			return 0, err
+		}
+		e.fail.advance(remaining)
+		e.silent.advance(remaining)
+		e.now += remaining
+		remaining = 0
+	}
+	return stepOK, nil
+}
+
+// protectedOp spends cost seconds on a non-computation operation,
+// exposed to fail-stop errors only when ErrorsInOps is set.
+func (e *exec) protectedOp(cost float64) stepResult {
+	if cost <= 0 {
+		return stepOK
+	}
+	if !e.cfg.ErrorsInOps {
+		e.now += cost
+		return stepOK
+	}
+	if fdt, hit := e.fail.within(cost); hit {
+		e.fail.consume()
+		e.now += fdt
+		e.rep.FailStop++
+		return stepFailStop
+	}
+	e.fail.advance(cost)
+	e.now += cost
+	return stepOK
+}
+
+// verify runs a partial or guaranteed verification.
+func (e *exec) verify(partial bool) (stepResult, error) {
+	cost := e.cfg.Costs.GuarVer
+	if partial {
+		cost = e.cfg.Costs.PartVer
+	}
+	if e.protectedOp(cost) == stepFailStop {
+		return stepFailStop, nil
+	}
+	var clean bool
+	var err error
+	switch {
+	case partial && e.cfg.Partial != nil:
+		clean, err = e.cfg.Partial.Check(e.cfg.App)
+	case partial:
+		clean = !(e.corrupted && e.cfg.Detect.Hit(e.cfg.Costs.Recall))
+	case e.cfg.Guaranteed != nil:
+		clean, err = e.cfg.Guaranteed.Check(e.cfg.App)
+	default:
+		clean = !e.corrupted
+	}
+	if err != nil {
+		return 0, err
+	}
+	if partial {
+		e.rep.PartVerifs++
+	} else {
+		e.rep.GuarVerifs++
+	}
+	if !clean {
+		if partial {
+			e.rep.DetectByPart++
+		} else {
+			e.rep.DetectByGuar++
+		}
+		return stepDetected, nil
+	}
+	return stepOK, nil
+}
+
+// memCkpt snapshots the application to the memory level.
+func (e *exec) memCkpt() (stepResult, error) {
+	if e.protectedOp(e.cfg.Costs.MemCkpt) == stepFailStop {
+		return stepFailStop, nil
+	}
+	snap, err := e.cfg.App.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	if err := e.cfg.Storage.Save(Memory, snap); err != nil {
+		return 0, err
+	}
+	e.memTainted = e.corrupted
+	e.rep.MemCkpts++
+	return stepOK, nil
+}
+
+// diskCkpt copies the (just-taken) memory checkpoint to disk.
+func (e *exec) diskCkpt() (stepResult, error) {
+	if e.protectedOp(e.cfg.Costs.DiskCkpt) == stepFailStop {
+		return stepFailStop, nil
+	}
+	snap, err := e.cfg.Storage.Load(Memory)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.cfg.Storage.Save(Disk, snap); err != nil {
+		return 0, err
+	}
+	e.diskTainted = e.memTainted
+	e.rep.DiskCkpts++
+	return stepOK, nil
+}
+
+// diskRecovery restores the last disk checkpoint and re-establishes
+// the memory copy, retrying through further fail-stop strikes.
+func (e *exec) diskRecovery() error {
+	for {
+		if e.protectedOp(e.cfg.Costs.DiskRec) == stepFailStop {
+			continue
+		}
+		if e.protectedOp(e.cfg.Costs.MemRec) == stepFailStop {
+			continue
+		}
+		break
+	}
+	snap, err := e.cfg.Storage.Load(Disk)
+	if err != nil {
+		return err
+	}
+	if err := e.cfg.App.Restore(snap); err != nil {
+		return err
+	}
+	if err := e.cfg.Storage.Save(Memory, snap); err != nil {
+		return err
+	}
+	e.corrupted = e.diskTainted
+	e.memTainted = e.diskTainted
+	e.rep.DiskRecs++
+	return nil
+}
+
+// memRecovery restores the segment's memory checkpoint; a fail-stop
+// during the restore escalates to a disk recovery (ok=false).
+func (e *exec) memRecovery() (ok bool, err error) {
+	if e.protectedOp(e.cfg.Costs.MemRec) == stepFailStop {
+		if err := e.diskRecovery(); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	snap, err := e.cfg.Storage.Load(Memory)
+	if err != nil {
+		return false, err
+	}
+	if err := e.cfg.App.Restore(snap); err != nil {
+		return false, err
+	}
+	e.corrupted = e.memTainted
+	e.rep.MemRecs++
+	return true, nil
+}
+
+// WorkFunc adapts a plain function to the Application interface with
+// no state; Snapshot and Restore are no-ops. It suits measurement-only
+// workloads.
+type WorkFunc func(work float64) error
+
+// Advance calls the function.
+func (f WorkFunc) Advance(work float64) error { return f(work) }
+
+// Snapshot returns an empty snapshot.
+func (WorkFunc) Snapshot() ([]byte, error) { return []byte{}, nil }
+
+// Restore ignores the snapshot.
+func (WorkFunc) Restore([]byte) error { return nil }
+
+// VerifierFunc adapts a function to the Verifier interface.
+type VerifierFunc func(app Application) (bool, error)
+
+// Check calls the function.
+func (f VerifierFunc) Check(app Application) (bool, error) { return f(app) }
+
+// Overhead is a convenience: (time - work)/work guarding zero work.
+func Overhead(time, work float64) float64 {
+	if work == 0 {
+		return math.Inf(1)
+	}
+	return (time - work) / work
+}

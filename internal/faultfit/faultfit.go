@@ -1,0 +1,202 @@
+// Package faultfit estimates failure-model parameters from observed
+// failure logs: maximum-likelihood fits of the exponential law (the
+// paper's model) and the Weibull law (the standard alternative on real
+// machines), AIC-based model selection and Kolmogorov-Smirnov
+// goodness-of-fit. It closes the loop from operations data to the
+// planner: fit a log, obtain λf and λs, feed them to analytic.Optimal.
+package faultfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"respat/internal/stats"
+	"respat/internal/xmath"
+)
+
+// ErrTooFewSamples is returned when a fit has fewer than two gaps.
+var ErrTooFewSamples = errors.New("faultfit: need at least 2 inter-arrival gaps")
+
+// Gaps converts an absolute arrival-time log into positive
+// inter-arrival gaps. Times need not be sorted; non-finite entries are
+// dropped; zero gaps (duplicate timestamps) are dropped too, as they
+// carry no information for continuous laws.
+func Gaps(times []float64) []float64 {
+	ts := make([]float64, 0, len(times))
+	for _, t := range times {
+		if !math.IsNaN(t) && !math.IsInf(t, 0) {
+			ts = append(ts, t)
+		}
+	}
+	sort.Float64s(ts)
+	gaps := make([]float64, 0, len(ts))
+	for i := 1; i < len(ts); i++ {
+		if d := ts[i] - ts[i-1]; d > 0 {
+			gaps = append(gaps, d)
+		}
+	}
+	return gaps
+}
+
+// Exponential is a fitted exponential law.
+type Exponential struct {
+	Lambda float64 // rate (/s)
+	LogLik float64 // maximised log-likelihood
+	N      int
+}
+
+// FitExponential computes the MLE λ = n/Σx.
+func FitExponential(gaps []float64) (Exponential, error) {
+	n := len(gaps)
+	if n < 2 {
+		return Exponential{}, ErrTooFewSamples
+	}
+	var sum xmath.Accumulator
+	for _, x := range gaps {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return Exponential{}, fmt.Errorf("faultfit: gap %v not positive finite", x)
+		}
+		sum.Add(x)
+	}
+	lambda := float64(n) / sum.Value()
+	// logL = n·ln λ - λ·Σx = n·ln λ - n.
+	return Exponential{
+		Lambda: lambda,
+		LogLik: float64(n)*math.Log(lambda) - float64(n),
+		N:      n,
+	}, nil
+}
+
+// CDF evaluates the fitted law.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Lambda * x)
+}
+
+// Rate returns the arrival rate.
+func (e Exponential) Rate() float64 { return e.Lambda }
+
+// MTBF returns the mean gap.
+func (e Exponential) MTBF() float64 { return 1 / e.Lambda }
+
+// Weibull is a fitted Weibull law.
+type Weibull struct {
+	Shape  float64 // k
+	Scale  float64 // λ (seconds)
+	LogLik float64
+	N      int
+}
+
+// FitWeibull computes the Weibull MLE: the shape k solves
+//
+//	Σ x^k ln x / Σ x^k - 1/k - mean(ln x) = 0
+//
+// (a monotone equation bracketed and solved with Brent), and the scale
+// follows as (Σ x^k / n)^(1/k).
+func FitWeibull(gaps []float64) (Weibull, error) {
+	n := len(gaps)
+	if n < 2 {
+		return Weibull{}, ErrTooFewSamples
+	}
+	var sumLog xmath.Accumulator
+	for _, x := range gaps {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return Weibull{}, fmt.Errorf("faultfit: gap %v not positive finite", x)
+		}
+		sumLog.Add(math.Log(x))
+	}
+	meanLog := sumLog.Value() / float64(n)
+	g := func(k float64) float64 {
+		var num, den xmath.Accumulator
+		for _, x := range gaps {
+			xk := math.Pow(x, k)
+			num.Add(xk * math.Log(x))
+			den.Add(xk)
+		}
+		return num.Value()/den.Value() - 1/k - meanLog
+	}
+	// g is increasing in k; bracket a sign change.
+	lo, hi := 0.02, 1.0
+	for g(hi) < 0 && hi < 512 {
+		hi *= 2
+	}
+	if g(lo) > 0 || g(hi) < 0 {
+		return Weibull{}, errors.New("faultfit: Weibull shape not bracketed (degenerate sample)")
+	}
+	k, err := xmath.Brent(g, lo, hi, 1e-10)
+	if err != nil {
+		return Weibull{}, err
+	}
+	var sumXk xmath.Accumulator
+	for _, x := range gaps {
+		sumXk.Add(math.Pow(x, k))
+	}
+	scale := math.Pow(sumXk.Value()/float64(n), 1/k)
+	// logL = n(ln k - k ln λ) + (k-1)Σ ln x - Σ(x/λ)^k.
+	logLik := float64(n)*(math.Log(k)-k*math.Log(scale)) +
+		(k-1)*sumLog.Value() - sumXk.Value()/math.Pow(scale, k)
+	return Weibull{Shape: k, Scale: scale, LogLik: logLik, N: n}, nil
+}
+
+// CDF evaluates the fitted law.
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// Rate returns the long-run arrival rate 1/(λ·Γ(1+1/k)).
+func (w Weibull) Rate() float64 {
+	return 1 / (w.Scale * math.Gamma(1+1/w.Shape))
+}
+
+// MTBF returns the mean gap.
+func (w Weibull) MTBF() float64 { return 1 / w.Rate() }
+
+// Choice reports the outcome of model selection.
+type Choice struct {
+	Exponential Exponential
+	Weibull     Weibull
+	// BestIsWeibull selects the model with the lower AIC.
+	BestIsWeibull bool
+	// KSp is the KS goodness-of-fit p-value of the selected model.
+	KSp float64
+	// Rate is the selected model's arrival rate: the λ to feed the
+	// pattern planner.
+	Rate float64
+}
+
+// Select fits both laws, picks the lower-AIC model (AIC = 2p - 2logL,
+// with 1 and 2 parameters respectively) and attaches a KS p-value.
+func Select(gaps []float64) (Choice, error) {
+	exp, err := FitExponential(gaps)
+	if err != nil {
+		return Choice{}, err
+	}
+	wei, err := FitWeibull(gaps)
+	if err != nil {
+		return Choice{}, err
+	}
+	aicExp := 2*1 - 2*exp.LogLik
+	aicWei := 2*2 - 2*wei.LogLik
+	out := Choice{Exponential: exp, Weibull: wei, BestIsWeibull: aicWei < aicExp}
+	var cdf func(float64) float64
+	if out.BestIsWeibull {
+		cdf = wei.CDF
+		out.Rate = wei.Rate()
+	} else {
+		cdf = exp.CDF
+		out.Rate = exp.Rate()
+	}
+	_, p, err := stats.KolmogorovSmirnov(gaps, cdf)
+	if err != nil {
+		return Choice{}, err
+	}
+	out.KSp = p
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package faultfit
+
+import (
+	"math"
+	"testing"
+
+	"respat/internal/faults"
+	"respat/internal/xmath"
+)
+
+func synthGaps(t *testing.T, src faults.Source, n int) []float64 {
+	t.Helper()
+	gaps := make([]float64, n)
+	now := 0.0
+	for i := range gaps {
+		next := src.Next(now)
+		gaps[i] = next - now
+		now = next
+	}
+	return gaps
+}
+
+func TestGapsConversion(t *testing.T) {
+	gaps := Gaps([]float64{10, 3, 7, math.NaN(), 7, math.Inf(1)})
+	// Sorted: 3, 7, 7, 10 -> gaps 4, 3 (zero gap dropped).
+	if len(gaps) != 2 || gaps[0] != 4 || gaps[1] != 3 {
+		t.Errorf("Gaps = %v", gaps)
+	}
+	if len(Gaps(nil)) != 0 || len(Gaps([]float64{5})) != 0 {
+		t.Error("degenerate logs should give no gaps")
+	}
+}
+
+func TestFitExponentialRecoversRate(t *testing.T) {
+	lambda := 1.0 / 4000
+	src, err := faults.NewExponential(lambda, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := synthGaps(t, src, 5000)
+	fit, err := FitExponential(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Lambda-lambda)/lambda > 0.05 {
+		t.Errorf("lambda = %v, want ~%v", fit.Lambda, lambda)
+	}
+	if !xmath.Close(fit.MTBF(), 1/fit.Lambda, 1e-12) {
+		t.Error("MTBF inconsistent")
+	}
+	if fit.N != 5000 {
+		t.Errorf("N = %d", fit.N)
+	}
+}
+
+func TestFitExponentialValidation(t *testing.T) {
+	if _, err := FitExponential([]float64{1}); err != ErrTooFewSamples {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitExponential([]float64{1, -2}); err == nil {
+		t.Error("negative gap should fail")
+	}
+	if _, err := FitExponential([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN gap should fail")
+	}
+}
+
+func TestFitWeibullRecoversParameters(t *testing.T) {
+	shape, scale := 0.7, 3000.0
+	src, err := faults.NewWeibull(shape, scale, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := synthGaps(t, src, 8000)
+	fit, err := FitWeibull(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Shape-shape)/shape > 0.05 {
+		t.Errorf("shape = %v, want ~%v", fit.Shape, shape)
+	}
+	if math.Abs(fit.Scale-scale)/scale > 0.05 {
+		t.Errorf("scale = %v, want ~%v", fit.Scale, scale)
+	}
+	// Rate consistency with the generator.
+	if math.Abs(fit.Rate()-src.Rate())/src.Rate() > 0.05 {
+		t.Errorf("rate = %v", fit.Rate())
+	}
+}
+
+func TestFitWeibullShapeOne(t *testing.T) {
+	// Exponential data: the Weibull fit should find k ~ 1.
+	src, err := faults.NewExponential(1e-3, 9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := synthGaps(t, src, 5000)
+	fit, err := FitWeibull(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Shape-1) > 0.05 {
+		t.Errorf("shape = %v, want ~1", fit.Shape)
+	}
+}
+
+func TestFitWeibullValidation(t *testing.T) {
+	if _, err := FitWeibull([]float64{1}); err != ErrTooFewSamples {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitWeibull([]float64{1, 0}); err == nil {
+		t.Error("zero gap should fail")
+	}
+}
+
+func TestCDFs(t *testing.T) {
+	e := Exponential{Lambda: 0.5}
+	if e.CDF(-1) != 0 || e.CDF(0) != 0 {
+		t.Error("CDF below support should be 0")
+	}
+	if !xmath.Close(e.CDF(2), 1-math.Exp(-1), 1e-12) {
+		t.Errorf("exp CDF = %v", e.CDF(2))
+	}
+	w := Weibull{Shape: 2, Scale: 10}
+	if w.CDF(0) != 0 {
+		t.Error("Weibull CDF(0) should be 0")
+	}
+	if !xmath.Close(w.CDF(10), 1-math.Exp(-1), 1e-12) {
+		t.Errorf("weibull CDF = %v", w.CDF(10))
+	}
+}
+
+func TestSelectPrefersCorrectFamily(t *testing.T) {
+	// Strongly non-exponential data (k = 0.5) must select Weibull...
+	wsrc, err := faults.NewWeibull(0.5, 2000, 11, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice, err := Select(synthGaps(t, wsrc, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !choice.BestIsWeibull {
+		t.Error("Weibull data should select the Weibull model")
+	}
+	if choice.KSp < 0.005 {
+		t.Errorf("selected model rejected by KS: p=%v", choice.KSp)
+	}
+	if choice.Rate <= 0 {
+		t.Error("rate must be positive")
+	}
+	// ...while exponential data keeps the simpler model competitive:
+	// AIC penalises the extra parameter, so exponential usually wins.
+	esrc, err := faults.NewExponential(1e-3, 13, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice, err = Select(synthGaps(t, esrc, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.BestIsWeibull {
+		t.Log("AIC picked Weibull on exponential data (possible but rare)")
+	}
+	if choice.KSp < 0.005 {
+		t.Errorf("selected model rejected by KS: p=%v", choice.KSp)
+	}
+	if math.Abs(choice.Rate-1e-3)/1e-3 > 0.06 {
+		t.Errorf("selected rate %v, want ~1e-3", choice.Rate)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	if _, err := Select([]float64{1}); err == nil {
+		t.Error("too few samples should fail")
+	}
+}

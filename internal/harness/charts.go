@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+
+	"respat/internal/core"
+	"respat/internal/viz"
+)
+
+// WeakScalingChart plots overhead vs node count (Figures 7a/8a):
+// predicted and simulated series per pattern family, log-scaled nodes.
+func WeakScalingChart(title string, rows []WeakRow) *viz.Chart {
+	series := map[string]*viz.Series{}
+	var order []string
+	add := func(name string, x, y float64) {
+		s, ok := series[name]
+		if !ok {
+			s = &viz.Series{Name: name}
+			series[name] = s
+			order = append(order, name)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	for _, r := range rows {
+		add(r.Kind.String()+" pred", float64(r.Nodes), 100*r.Predicted)
+		add(r.Kind.String()+" sim", float64(r.Nodes), 100*r.Simulated)
+	}
+	c := &viz.Chart{Title: title + "  [y: overhead %, x: nodes]", Width: 72, Height: 20, LogX: true}
+	for _, name := range order {
+		c.Series = append(c.Series, *series[name])
+	}
+	return c
+}
+
+// RateSweepPeriodChart plots the optimal period vs the swept rate
+// factor (Figures 9d/9h).
+func RateSweepPeriodChart(title string, pts []RatePoint, silentAxis bool) *viz.Chart {
+	return rateSweepChart(title+"  [y: period min, x: rate factor]", pts, silentAxis,
+		func(p RatePoint) float64 { return p.PeriodMinutes })
+}
+
+// RateSweepOverheadChart plots the simulated overhead vs the swept
+// rate factor (slices of Figures 9a-9b).
+func RateSweepOverheadChart(title string, pts []RatePoint, silentAxis bool) *viz.Chart {
+	return rateSweepChart(title+"  [y: overhead %, x: rate factor]", pts, silentAxis,
+		func(p RatePoint) float64 { return 100 * p.Simulated })
+}
+
+func rateSweepChart(title string, pts []RatePoint, silentAxis bool, metric func(RatePoint) float64) *viz.Chart {
+	series := map[core.Kind]*viz.Series{}
+	var order []core.Kind
+	for _, p := range pts {
+		s, ok := series[p.Kind]
+		if !ok {
+			s = &viz.Series{Name: p.Kind.String()}
+			series[p.Kind] = s
+			order = append(order, p.Kind)
+		}
+		x := p.FailFactor
+		if silentAxis {
+			x = p.SilentFactor
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, metric(p))
+	}
+	c := &viz.Chart{Title: title, Width: 72, Height: 20}
+	for _, k := range order {
+		c.Series = append(c.Series, *series[k])
+	}
+	return c
+}
+
+// Fig6Chart plots predicted vs simulated overhead per family on one
+// platform (Figure 6a), using the family index as the x axis.
+func Fig6Chart(platformName string, rows []Fig6Row) *viz.Chart {
+	pred := viz.Series{Name: "predicted"}
+	sim := viz.Series{Name: "simulated"}
+	for _, r := range rows {
+		if r.Platform != platformName {
+			continue
+		}
+		x := float64(int(r.Kind))
+		pred.X = append(pred.X, x)
+		pred.Y = append(pred.Y, 100*r.Predicted)
+		sim.X = append(sim.X, x)
+		sim.Y = append(sim.Y, 100*r.Simulated)
+	}
+	return &viz.Chart{
+		Title:  fmt.Sprintf("Figure 6a (%s)  [y: overhead %%, x: family 0=PD..5=PDMV]", platformName),
+		Width:  60,
+		Height: 14,
+		Series: []viz.Series{pred, sim},
+	}
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"respat/internal/core"
+)
+
+func TestWeakScalingChart(t *testing.T) {
+	rows := []WeakRow{
+		{Nodes: 256, Kind: core.PD, Predicted: 0.05, Simulated: 0.06},
+		{Nodes: 4096, Kind: core.PD, Predicted: 0.2, Simulated: 0.25},
+		{Nodes: 256, Kind: core.PDMV, Predicted: 0.04, Simulated: 0.045},
+		{Nodes: 4096, Kind: core.PDMV, Predicted: 0.15, Simulated: 0.17},
+	}
+	out := WeakScalingChart("Figure 7a", rows).String()
+	if strings.Contains(out, "viz:") {
+		t.Fatalf("chart failed: %s", out)
+	}
+	for _, want := range []string{"PD pred", "PD sim", "PDMV pred", "PDMV sim", "256"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRateSweepCharts(t *testing.T) {
+	pts := []RatePoint{
+		{FailFactor: 0.2, SilentFactor: 1, Kind: core.PD, PeriodMinutes: 14, Simulated: 1.2},
+		{FailFactor: 2, SilentFactor: 1, Kind: core.PD, PeriodMinutes: 14, Simulated: 1.5},
+		{FailFactor: 0.2, SilentFactor: 1, Kind: core.PDMV, PeriodMinutes: 47, Simulated: 0.8},
+		{FailFactor: 2, SilentFactor: 1, Kind: core.PDMV, PeriodMinutes: 15, Simulated: 1.1},
+	}
+	out := RateSweepPeriodChart("Figure 9d", pts, false).String()
+	if strings.Contains(out, "viz:") || !strings.Contains(out, "period min") {
+		t.Fatalf("period chart: %s", out)
+	}
+	out = RateSweepOverheadChart("Figure 9", pts, false).String()
+	if strings.Contains(out, "viz:") || !strings.Contains(out, "overhead %") {
+		t.Fatalf("overhead chart: %s", out)
+	}
+	// Silent-axis variant uses SilentFactor as x.
+	out = RateSweepPeriodChart("Figure 9h", pts, true).String()
+	if strings.Contains(out, "viz:") {
+		t.Fatalf("silent-axis chart: %s", out)
+	}
+}
+
+func TestFig6Chart(t *testing.T) {
+	rows := []Fig6Row{
+		{Platform: "Hera", Kind: core.PD, Predicted: 0.071, Simulated: 0.072},
+		{Platform: "Hera", Kind: core.PDMV, Predicted: 0.039, Simulated: 0.041},
+		{Platform: "Atlas", Kind: core.PD, Predicted: 0.09, Simulated: 0.091},
+	}
+	out := Fig6Chart("Hera", rows).String()
+	if strings.Contains(out, "viz:") {
+		t.Fatalf("chart failed: %s", out)
+	}
+	if !strings.Contains(out, "predicted") || !strings.Contains(out, "simulated") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "Hera") {
+		t.Error("title missing platform")
+	}
+}

@@ -1,0 +1,250 @@
+// Package linalg implements the small dense linear algebra needed by
+// the analytic model: the symmetric matrix A^(m) of Proposition 3, the
+// quadratic form f = βᵀAβ that measures expected re-executed work in a
+// segment, a Gaussian-elimination solver, and an equality-constrained
+// quadratic program that recovers the optimal chunk sizes β*
+// numerically (cross-checking the closed form of Theorems 3 and 4).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports a numerically singular system.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// ErrShape reports mismatched dimensions.
+var ErrShape = errors.New("linalg: dimension mismatch")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("%w: %dx%d by %d", ErrShape, m.Rows, m.Cols, len(x))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// IsSymmetric reports whether the matrix equals its transpose within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// QuadForm returns βᵀ·A·β. A must be square with dimension len(beta).
+func QuadForm(a *Matrix, beta []float64) (float64, error) {
+	y, err := a.MulVec(beta)
+	if err != nil {
+		return 0, err
+	}
+	if a.Rows != a.Cols {
+		return 0, fmt.Errorf("%w: quad form needs square matrix", ErrShape)
+	}
+	return Dot(beta, y), nil
+}
+
+// VerificationMatrix builds the m×m symmetric matrix A^(m) of
+// Proposition 3 for a partial-verification recall r in (0,1]:
+//
+//	A[i][j] = (1 + (1-r)^{|i-j|}) / 2.
+//
+// With r = 1 it degenerates to (I + J·0 …): diagonal 1, off-diagonal ½,
+// matching the guaranteed-verification case of [6].
+func VerificationMatrix(m int, r float64) (*Matrix, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("linalg: verification matrix size %d", m)
+	}
+	if r <= 0 || r > 1 || math.IsNaN(r) {
+		return nil, fmt.Errorf("linalg: recall %v out of (0,1]", r)
+	}
+	a := NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			a.Set(i, j, (1+math.Pow(1-r, float64(d)))/2)
+		}
+	}
+	return a, nil
+}
+
+// SolveLinear solves A·x = b in place via Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: solve needs square matrix", ErrShape)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d for %dx%d", ErrShape, len(b), n, n)
+	}
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		best := math.Abs(m.At(col, col))
+		for row := col + 1; row < n; row++ {
+			if v := math.Abs(m.At(row, col)); v > best {
+				piv, best = row, v
+			}
+		}
+		if best < 1e-14 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[piv*n+j] = m.Data[piv*n+j], m.Data[col*n+j]
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for row := col + 1; row < n; row++ {
+			f := m.At(row, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Set(row, j, m.At(row, j)-f*m.At(col, j))
+			}
+			x[row] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for row := n - 1; row >= 0; row-- {
+		s := x[row]
+		for j := row + 1; j < n; j++ {
+			s -= m.At(row, j) * x[j]
+		}
+		x[row] = s / m.At(row, row)
+	}
+	return x, nil
+}
+
+// MinQuadFormSimplex solves
+//
+//	minimize    βᵀAβ
+//	subject to  Σ βi = 1
+//
+// for symmetric positive-definite A via the KKT system
+//
+//	[ 2A  1 ] [β]   [0]
+//	[ 1ᵀ  0 ] [μ] = [1],
+//
+// returning the optimal β and the minimum value. This is the numeric
+// ground truth against which the closed-form chunk sizes β* of
+// Theorem 3 are validated. Note the constraint is only the equality;
+// for the matrices A^(m) of the paper the solution is interior
+// (all βi > 0), which the tests assert.
+func MinQuadFormSimplex(a *Matrix) (beta []float64, value float64, err error) {
+	if a.Rows != a.Cols {
+		return nil, 0, fmt.Errorf("%w: need square matrix", ErrShape)
+	}
+	n := a.Rows
+	kkt := NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(i, j, 2*a.At(i, j))
+		}
+		kkt.Set(i, n, 1)
+		kkt.Set(n, i, 1)
+	}
+	rhs := make([]float64, n+1)
+	rhs[n] = 1
+	sol, err := SolveLinear(kkt, rhs)
+	if err != nil {
+		return nil, 0, err
+	}
+	beta = sol[:n]
+	value, err = QuadForm(a, beta)
+	return beta, value, err
+}
+
+// OptimalBeta returns the closed-form optimal chunk-size fractions of
+// Theorem 3 for a segment of m chunks and recall r:
+//
+//	β1 = βm = 1/((m-2)r+2),  βj = r/((m-2)r+2) otherwise,
+//
+// together with the minimised quadratic-form value
+// f* = (1 + (2-r)/((m-2)r+2)) / 2.
+func OptimalBeta(m int, r float64) (beta []float64, fstar float64, err error) {
+	if m <= 0 {
+		return nil, 0, fmt.Errorf("linalg: m = %d", m)
+	}
+	if r <= 0 || r > 1 || math.IsNaN(r) {
+		return nil, 0, fmt.Errorf("linalg: recall %v out of (0,1]", r)
+	}
+	den := float64(m-2)*r + 2
+	beta = make([]float64, m)
+	for j := range beta {
+		beta[j] = r / den
+	}
+	beta[0] = 1 / den
+	beta[m-1] = 1 / den
+	fstar = (1 + (2-r)/den) / 2
+	if m == 1 {
+		beta[0] = 1
+		fstar = 1
+	}
+	return beta, fstar, nil
+}

@@ -1,0 +1,327 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"respat/internal/xmath"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, -2)
+	if m.At(0, 1) != 5 || m.At(1, 2) != -2 || m.At(0, 0) != 0 {
+		t.Error("Set/At broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone aliases data")
+	}
+}
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	y, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestVerificationMatrixProperties(t *testing.T) {
+	for _, r := range []float64{0.2, 0.5, 0.8, 1} {
+		for _, m := range []int{1, 2, 3, 7} {
+			a, err := VerificationMatrix(m, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.IsSymmetric(0) {
+				t.Errorf("A(m=%d,r=%v) not symmetric", m, r)
+			}
+			for i := 0; i < m; i++ {
+				if a.At(i, i) != 1 {
+					t.Errorf("diagonal A[%d][%d] = %v, want 1", i, i, a.At(i, i))
+				}
+			}
+			// Entries decay away from the diagonal for r<1.
+			if m >= 3 && r < 1 && !(a.At(0, 1) > a.At(0, 2)) {
+				t.Errorf("A entries should decay off-diagonal for r=%v", r)
+			}
+		}
+	}
+}
+
+func TestVerificationMatrixGuaranteedCase(t *testing.T) {
+	// r=1: off-diagonal entries are exactly 1/2.
+	a, err := VerificationMatrix(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.5
+			if i == j {
+				want = 1
+			}
+			if a.At(i, j) != want {
+				t.Errorf("A[%d][%d] = %v, want %v", i, j, a.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestVerificationMatrixValidation(t *testing.T) {
+	if _, err := VerificationMatrix(0, 0.5); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := VerificationMatrix(3, 0); err == nil {
+		t.Error("r=0 should fail")
+	}
+	if _, err := VerificationMatrix(3, 1.5); err == nil {
+		t.Error("r>1 should fail")
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !xmath.Close(x[i], want[i], 1e-10) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveLinear(a, []float64{1, 2}); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(1, 1, 2)
+	b := []float64{8, 6}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 4 || b[0] != 8 {
+		t.Error("SolveLinear mutated inputs")
+	}
+}
+
+func TestSolveLinearRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b, _ := a.MulVec(xTrue)
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if !xmath.Close(x[i], xTrue[i], 1e-8) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestQuadFormSimple(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 3)
+	v, err := QuadForm(a, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 14 {
+		t.Errorf("QuadForm = %v, want 14", v)
+	}
+}
+
+func TestOptimalBetaClosedForm(t *testing.T) {
+	beta, fstar, err := OptimalBeta(3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den := 2.8
+	want := []float64{1 / den, 0.8 / den, 1 / den}
+	for i := range want {
+		if !xmath.Close(beta[i], want[i], 1e-12) {
+			t.Errorf("beta[%d] = %v, want %v", i, beta[i], want[i])
+		}
+	}
+	if !xmath.Close(fstar, (1+1.2/2.8)/2, 1e-12) {
+		t.Errorf("fstar = %v", fstar)
+	}
+}
+
+func TestOptimalBetaEdgeCases(t *testing.T) {
+	beta, fstar, err := OptimalBeta(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beta) != 1 || beta[0] != 1 || fstar != 1 {
+		t.Errorf("m=1: beta=%v fstar=%v, want [1] 1", beta, fstar)
+	}
+	beta, _, err = OptimalBeta(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmath.Close(beta[0], 0.5, 1e-12) || !xmath.Close(beta[1], 0.5, 1e-12) {
+		t.Errorf("m=2: beta=%v, want [0.5 0.5]", beta)
+	}
+	if _, _, err := OptimalBeta(0, 0.5); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, _, err := OptimalBeta(3, -1); err == nil {
+		t.Error("r=-1 should fail")
+	}
+}
+
+func TestOptimalBetaSumsToOne(t *testing.T) {
+	f := func(mRaw uint8, rRaw float64) bool {
+		m := int(mRaw%20) + 1
+		r := math.Mod(math.Abs(rRaw), 0.999) + 0.001
+		beta, _, err := OptimalBeta(m, r)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, b := range beta {
+			sum += b
+		}
+		return xmath.Close(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClosedFormBetaMatchesQP is the central cross-check of Theorem 3:
+// the paper's closed-form chunk sizes must coincide with the numeric
+// solution of min βᵀAβ subject to Σβ=1.
+func TestClosedFormBetaMatchesQP(t *testing.T) {
+	for _, r := range []float64{0.2, 0.5, 0.8, 0.95, 1} {
+		for _, m := range []int{2, 3, 4, 5, 8, 12} {
+			a, err := VerificationMatrix(m, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qpBeta, qpVal, err := MinQuadFormSimplex(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfBeta, cfVal, err := OptimalBeta(m, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !xmath.Close(qpVal, cfVal, 1e-9) {
+				t.Errorf("m=%d r=%v: QP value %v vs closed form %v", m, r, qpVal, cfVal)
+			}
+			for j := range cfBeta {
+				if !xmath.Close(qpBeta[j], cfBeta[j], 1e-7) {
+					t.Errorf("m=%d r=%v: beta[%d] QP %v vs closed form %v", m, r, j, qpBeta[j], cfBeta[j])
+				}
+				if qpBeta[j] <= 0 {
+					t.Errorf("m=%d r=%v: QP beta[%d] = %v not interior", m, r, j, qpBeta[j])
+				}
+			}
+		}
+	}
+}
+
+// TestQPIsActuallyMinimal perturbs the optimal β on the simplex and
+// checks the quadratic form only increases.
+func TestQPIsActuallyMinimal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a, _ := VerificationMatrix(5, 0.7)
+	beta, val, err := MinQuadFormSimplex(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		pert := append([]float64(nil), beta...)
+		// Zero-sum perturbation keeps Σβ = 1.
+		i, j := rng.IntN(5), rng.IntN(5)
+		if i == j {
+			continue
+		}
+		eps := (rng.Float64() - 0.5) * 0.1
+		pert[i] += eps
+		pert[j] -= eps
+		v, err := QuadForm(a, pert)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < val-1e-12 {
+			t.Fatalf("found better point: %v < %v", v, val)
+		}
+	}
+}
+
+func TestMinQuadFormRejectsNonSquare(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, _, err := MinQuadFormSimplex(m); err == nil {
+		t.Error("expected shape error")
+	}
+}

@@ -1,0 +1,258 @@
+// Package optimize provides planners beyond the closed-form Table 1
+// solution of package analytic:
+//
+//   - an exact-model planner that minimises the renewal-equation
+//     expected overhead (no first-order truncation) over W, n and m,
+//     used to quantify how close the paper's first-order optimum is to
+//     the true optimum (an ablation the paper argues analytically);
+//   - a brute-force verification-placement search on a discretised
+//     segment, validating the Theorem 3 chunk-size structure (first and
+//     last chunks longer, interior chunks equal) from first principles.
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"respat/internal/analytic"
+	"respat/internal/core"
+	"respat/internal/linalg"
+	"respat/internal/xmath"
+)
+
+// ExactPlan is the outcome of exact-model optimisation.
+type ExactPlan struct {
+	Kind core.Kind
+	N, M int
+	// W is the work length minimising the exact expected overhead.
+	W float64
+	// Overhead is the exact expected overhead E(P)/W - 1 at the optimum.
+	Overhead float64
+	Pattern  core.Pattern
+}
+
+// String renders the plan compactly.
+func (p ExactPlan) String() string {
+	return fmt.Sprintf("%s(exact): W*=%.6gs n*=%d m*=%d H*=%.4f", p.Kind, p.W, p.N, p.M, p.Overhead)
+}
+
+// OptimizeW minimises the exact expected overhead of family k at fixed
+// (n, m) over the pattern length W by golden-section search. The
+// search bracket is centred on the first-order W* and spans two orders
+// of magnitude each way.
+func OptimizeW(k core.Kind, c core.Costs, r core.Rates, n, m int) (w, overhead float64, err error) {
+	if r.Total() == 0 {
+		return 0, 0, analytic.ErrDegenerate
+	}
+	oef := analytic.EF(k, c, n, m)
+	orw := analytic.RW(k, c, r, n, m)
+	guess := xmath.SqrtRatio(oef, orw)
+	if math.IsInf(guess, 1) || guess <= 0 {
+		return 0, 0, fmt.Errorf("optimize: no finite period guess for %v", k)
+	}
+	var evalErr error
+	h := func(w float64) float64 {
+		p, err := core.Layout(k, w, n, m, c.Recall)
+		if err != nil {
+			evalErr = err
+			return math.Inf(1)
+		}
+		e, err := analytic.ExactExpectedTime(p, c, r)
+		if err != nil {
+			evalErr = err
+			return math.Inf(1)
+		}
+		return e/w - 1
+	}
+	w, overhead = xmath.MinimizeGolden(h, guess/100, guess*100, 1e-10)
+	if evalErr != nil {
+		return 0, 0, evalErr
+	}
+	return w, overhead, nil
+}
+
+// Exact finds the exact-model optimal plan of family k by searching the
+// integer (n, m) space (convex ternary search seeded by the first-order
+// optimum) with the inner W optimised by OptimizeW.
+func Exact(k core.Kind, c core.Costs, r core.Rates) (ExactPlan, error) {
+	first, err := analytic.Optimal(k, c, r)
+	if err != nil {
+		return ExactPlan{}, err
+	}
+	maxN, maxM := 1, 1
+	if k.MultiSegment() {
+		maxN = min(3*first.N+4, analytic.MaxSplit)
+	}
+	if k.MultiChunk() {
+		maxM = min(3*first.M+4, analytic.MaxSplit)
+	}
+
+	type eval struct {
+		w, h float64
+		err  error
+	}
+	memo := make(map[[2]int]eval)
+	at := func(n, m int) eval {
+		key := [2]int{n, m}
+		if e, ok := memo[key]; ok {
+			return e
+		}
+		w, h, err := OptimizeW(k, c, r, n, m)
+		e := eval{w: w, h: h, err: err}
+		memo[key] = e
+		return e
+	}
+	bestM := func(n int) (int, eval) {
+		m, _ := xmath.MinimizeConvexInt(func(m int) float64 {
+			e := at(n, m)
+			if e.err != nil {
+				return math.Inf(1)
+			}
+			return e.h
+		}, 1, maxM)
+		return m, at(n, m)
+	}
+	n, _ := xmath.MinimizeConvexInt(func(n int) float64 {
+		_, e := bestM(n)
+		if e.err != nil {
+			return math.Inf(1)
+		}
+		return e.h
+	}, 1, maxN)
+	m, best := bestM(n)
+	if best.err != nil {
+		return ExactPlan{}, best.err
+	}
+	pat, err := core.Layout(k, best.w, n, m, c.Recall)
+	if err != nil {
+		return ExactPlan{}, err
+	}
+	return ExactPlan{Kind: k, N: n, M: m, W: best.w, Overhead: best.h, Pattern: pat}, nil
+}
+
+// Comparison quantifies the gap between the first-order plan and the
+// exact-model plan of one family.
+type Comparison struct {
+	Kind       core.Kind
+	FirstOrder analytic.Plan
+	Exact      ExactPlan
+	// FirstOrderExactOverhead is the exact overhead of the first-order
+	// plan (its true cost when deployed).
+	FirstOrderExactOverhead float64
+	// Regret is the relative excess overhead incurred by deploying the
+	// first-order plan instead of the exact optimum.
+	Regret float64
+}
+
+// Compare runs both planners for family k and evaluates the
+// first-order plan under the exact model.
+func Compare(k core.Kind, c core.Costs, r core.Rates) (Comparison, error) {
+	first, err := analytic.Optimal(k, c, r)
+	if err != nil {
+		return Comparison{}, err
+	}
+	exact, err := Exact(k, c, r)
+	if err != nil {
+		return Comparison{}, err
+	}
+	e, err := analytic.ExactExpectedTime(first.Pattern, c, r)
+	if err != nil {
+		return Comparison{}, err
+	}
+	hFirst := e/first.W - 1
+	regret := 0.0
+	if exact.Overhead > 0 {
+		regret = (hFirst - exact.Overhead) / exact.Overhead
+	}
+	return Comparison{
+		Kind:                    k,
+		FirstOrder:              first,
+		Exact:                   exact,
+		FirstOrderExactOverhead: hFirst,
+		Regret:                  regret,
+	}, nil
+}
+
+// Placement is the outcome of the brute-force verification-placement
+// search on a discretised segment.
+type Placement struct {
+	// Boundaries marks, for each of the Grid-1 interior grid
+	// boundaries, whether a partial verification is placed there.
+	Boundaries []bool
+	// M is the resulting number of chunks.
+	M int
+	// Beta holds the resulting chunk fractions.
+	Beta []float64
+	// Score is the minimised second-order badness (see BruteForcePlacement).
+	Score float64
+}
+
+// BruteForcePlacement discretises a segment of work w into grid equal
+// cells and exhaustively searches all 2^(grid-1) subsets of interior
+// boundaries for partial-verification placement, minimising the
+// Proposition 3 second-order badness
+//
+//	(m-1)·V + λs·(βᵀA^(m)β)·w²,
+//
+// the W²-order trade-off between verification cost and re-executed
+// work. It validates Theorem 3 structurally: the optimal subset uses
+// (approximately) the closed-form chunk count with longer first and
+// last chunks. grid is capped at 16 to bound the enumeration.
+func BruteForcePlacement(w float64, grid int, c core.Costs, r core.Rates) (Placement, error) {
+	if grid < 1 || grid > 16 {
+		return Placement{}, fmt.Errorf("optimize: grid %d out of [1,16]", grid)
+	}
+	if err := c.Validate(); err != nil {
+		return Placement{}, err
+	}
+	if w <= 0 {
+		return Placement{}, fmt.Errorf("optimize: segment work %v", w)
+	}
+	nb := grid - 1
+	best := Placement{Score: math.Inf(1)}
+	for mask := 0; mask < 1<<nb; mask++ {
+		beta := betaFromMask(mask, grid)
+		m := len(beta)
+		a, err := linalg.VerificationMatrix(m, c.Recall)
+		if err != nil {
+			return Placement{}, err
+		}
+		f, err := linalg.QuadForm(a, beta)
+		if err != nil {
+			return Placement{}, err
+		}
+		score := float64(m-1)*c.PartVer + r.Silent*f*w*w
+		if score < best.Score {
+			bounds := make([]bool, nb)
+			for b := 0; b < nb; b++ {
+				bounds[b] = mask&(1<<b) != 0
+			}
+			best = Placement{Boundaries: bounds, M: m, Beta: beta, Score: score}
+		}
+	}
+	return best, nil
+}
+
+// betaFromMask converts a boundary subset into chunk fractions over a
+// grid of equal cells.
+func betaFromMask(mask, grid int) []float64 {
+	var beta []float64
+	run := 1
+	for b := 0; b < grid-1; b++ {
+		if mask&(1<<b) != 0 {
+			beta = append(beta, float64(run)/float64(grid))
+			run = 1
+		} else {
+			run++
+		}
+	}
+	beta = append(beta, float64(run)/float64(grid))
+	return beta
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

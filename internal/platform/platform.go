@@ -1,0 +1,172 @@
+// Package platform embeds the Table 2 platform measurements (Moody et
+// al.'s SCR study, as used by the paper) and the derivation rules of
+// Section 6: simulation default costs (RD=CD, RM=CM, V*=CM, V=V*/100,
+// r=0.8), per-node MTBFs and weak scaling, and error-rate scaling.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"respat/internal/core"
+)
+
+// SecondsPerDay converts rates to the per-day figures quoted in §6.
+const SecondsPerDay = 86400.0
+
+// SecondsPerYear uses the Julian year, matching the paper's "8.57
+// years" per-node MTBF derivation for Hera.
+const SecondsPerYear = 365.25 * SecondsPerDay
+
+// Platform describes one row of Table 2 plus the simulation defaults.
+type Platform struct {
+	Name  string
+	Nodes int
+	// Rates are platform-level arrival rates in errors/second.
+	Rates core.Rates
+	// Costs hold CD and CM from Table 2 and the derived defaults.
+	Costs core.Costs
+}
+
+// defaults fills the derived cost parameters of Section 6.1:
+// RD = CD, RM = CM, V* = CM, V = V*/100, r = 0.8.
+func defaults(cd, cm float64) core.Costs {
+	return core.Costs{
+		DiskCkpt: cd,
+		MemCkpt:  cm,
+		DiskRec:  cd,
+		MemRec:   cm,
+		GuarVer:  cm,
+		PartVer:  cm / 100,
+		Recall:   0.8,
+	}
+}
+
+// Table2 returns the four platforms of Table 2 in paper order:
+// Hera, Atlas, Coastal, Coastal-SSD.
+func Table2() []Platform {
+	return []Platform{
+		{Name: "Hera", Nodes: 256,
+			Rates: core.Rates{FailStop: 9.46e-7, Silent: 3.38e-6},
+			Costs: defaults(300, 15.4)},
+		{Name: "Atlas", Nodes: 512,
+			Rates: core.Rates{FailStop: 5.19e-7, Silent: 7.78e-6},
+			Costs: defaults(439, 9.1)},
+		{Name: "Coastal", Nodes: 1024,
+			Rates: core.Rates{FailStop: 4.02e-7, Silent: 2.01e-6},
+			Costs: defaults(1051, 4.5)},
+		{Name: "Coastal-SSD", Nodes: 1024,
+			Rates: core.Rates{FailStop: 4.02e-7, Silent: 2.01e-6},
+			Costs: defaults(2500, 180)},
+	}
+}
+
+// ByName returns the named Table 2 platform (case-sensitive).
+func ByName(name string) (Platform, error) {
+	for _, p := range Table2() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := Names()
+	return Platform{}, fmt.Errorf("platform: unknown platform %q (have %v)", name, names)
+}
+
+// Names lists the available platform names, sorted.
+func Names() []string {
+	ps := Table2()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FailStopMTBFDays returns the platform MTBF for fail-stop errors in
+// days (§6.2.1 quotes 12.2 days for Hera).
+func (p Platform) FailStopMTBFDays() float64 {
+	if p.Rates.FailStop == 0 {
+		return math.Inf(1)
+	}
+	return 1 / p.Rates.FailStop / SecondsPerDay
+}
+
+// SilentMTBFDays returns the platform MTBF for silent errors in days
+// (§6.2.1 quotes 3.4 days for Hera).
+func (p Platform) SilentMTBFDays() float64 {
+	if p.Rates.Silent == 0 {
+		return math.Inf(1)
+	}
+	return 1 / p.Rates.Silent / SecondsPerDay
+}
+
+// PerNodeRates returns the single-node error rates λ/Nodes, the basis
+// of the weak-scaling extrapolation (§6.3.1).
+func (p Platform) PerNodeRates() core.Rates {
+	n := float64(p.Nodes)
+	return core.Rates{FailStop: p.Rates.FailStop / n, Silent: p.Rates.Silent / n}
+}
+
+// PerNodeMTBFYears returns the per-node MTBFs in years for fail-stop
+// and silent errors (8.57 and 2.4 years for Hera).
+func (p Platform) PerNodeMTBFYears() (failStop, silent float64) {
+	pn := p.PerNodeRates()
+	return 1 / pn.FailStop / SecondsPerYear, 1 / pn.Silent / SecondsPerYear
+}
+
+// WeakScale returns a copy of the platform scaled to nodes compute
+// nodes: error rates grow linearly with the node count while, under
+// the weak-scaling assumptions of §6.3.1, checkpoint costs stay
+// constant (problem size per node fixed, I/O bandwidth scaled).
+func (p Platform) WeakScale(nodes int) (Platform, error) {
+	if nodes <= 0 {
+		return Platform{}, fmt.Errorf("platform: weak scale to %d nodes", nodes)
+	}
+	pn := p.PerNodeRates()
+	out := p
+	out.Name = fmt.Sprintf("%s-%dn", p.Name, nodes)
+	out.Nodes = nodes
+	out.Rates = core.Rates{
+		FailStop: pn.FailStop * float64(nodes),
+		Silent:   pn.Silent * float64(nodes),
+	}
+	return out, nil
+}
+
+// WithDiskCost returns a copy with CD (and RD) replaced; §6.3.2 uses
+// CD = 90 s to model improved disk technology.
+func (p Platform) WithDiskCost(cd float64) Platform {
+	out := p
+	out.Costs.DiskCkpt = cd
+	out.Costs.DiskRec = cd
+	return out
+}
+
+// WithMemCost returns a copy with CM (and RM, V*, V) replaced,
+// preserving the Section 6.1 derivation rules.
+func (p Platform) WithMemCost(cm float64) Platform {
+	out := p
+	out.Costs = defaults(out.Costs.DiskCkpt, cm)
+	return out
+}
+
+// ScaleRates returns a copy with the error rates multiplied by
+// (ff, fs), implementing the §6.4 sweeps.
+func (p Platform) ScaleRates(ff, fs float64) Platform {
+	out := p
+	out.Rates = p.Rates.Scale(ff, fs)
+	return out
+}
+
+// Validate checks the embedded parameters.
+func (p Platform) Validate() error {
+	if p.Nodes <= 0 {
+		return fmt.Errorf("platform: %s has %d nodes", p.Name, p.Nodes)
+	}
+	if err := p.Rates.Validate(); err != nil {
+		return err
+	}
+	return p.Costs.Validate()
+}

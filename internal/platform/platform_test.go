@@ -1,0 +1,205 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"respat/internal/xmath"
+)
+
+func TestTable2Contents(t *testing.T) {
+	ps := Table2()
+	if len(ps) != 4 {
+		t.Fatalf("Table2 has %d rows, want 4", len(ps))
+	}
+	want := []struct {
+		name  string
+		nodes int
+		lf    float64
+		ls    float64
+		cd    float64
+		cm    float64
+	}{
+		{"Hera", 256, 9.46e-7, 3.38e-6, 300, 15.4},
+		{"Atlas", 512, 5.19e-7, 7.78e-6, 439, 9.1},
+		{"Coastal", 1024, 4.02e-7, 2.01e-6, 1051, 4.5},
+		{"Coastal-SSD", 1024, 4.02e-7, 2.01e-6, 2500, 180},
+	}
+	for i, w := range want {
+		p := ps[i]
+		if p.Name != w.name || p.Nodes != w.nodes {
+			t.Errorf("row %d: %s/%d, want %s/%d", i, p.Name, p.Nodes, w.name, w.nodes)
+		}
+		if p.Rates.FailStop != w.lf || p.Rates.Silent != w.ls {
+			t.Errorf("%s rates = %+v", p.Name, p.Rates)
+		}
+		if p.Costs.DiskCkpt != w.cd || p.Costs.MemCkpt != w.cm {
+			t.Errorf("%s costs = %+v", p.Name, p.Costs)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestSimulationDefaults(t *testing.T) {
+	p, err := ByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Costs
+	if c.DiskRec != c.DiskCkpt {
+		t.Error("RD != CD")
+	}
+	if c.MemRec != c.MemCkpt {
+		t.Error("RM != CM")
+	}
+	if c.GuarVer != c.MemCkpt {
+		t.Error("V* != CM")
+	}
+	if !xmath.Close(c.PartVer, c.GuarVer/100, 1e-12) {
+		t.Error("V != V*/100")
+	}
+	if c.Recall != 0.8 {
+		t.Error("r != 0.8")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("Summit"); err == nil {
+		t.Error("unknown platform should fail")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestMTBFDaysMatchPaper(t *testing.T) {
+	// §6.2.1: Hera 12.2 days fail-stop / 3.4 days silent;
+	// Coastal 28.8 days fail-stop / 5.8 days silent.
+	hera, _ := ByName("Hera")
+	if d := hera.FailStopMTBFDays(); math.Abs(d-12.2) > 0.1 {
+		t.Errorf("Hera fail-stop MTBF = %v days, want ~12.2", d)
+	}
+	if d := hera.SilentMTBFDays(); math.Abs(d-3.4) > 0.05 {
+		t.Errorf("Hera silent MTBF = %v days, want ~3.4", d)
+	}
+	coastal, _ := ByName("Coastal")
+	if d := coastal.FailStopMTBFDays(); math.Abs(d-28.8) > 0.1 {
+		t.Errorf("Coastal fail-stop MTBF = %v days, want ~28.8", d)
+	}
+	if d := coastal.SilentMTBFDays(); math.Abs(d-5.8) > 0.1 {
+		t.Errorf("Coastal silent MTBF = %v days, want ~5.8", d)
+	}
+	// Atlas ~22 days (§6.2.5).
+	atlas, _ := ByName("Atlas")
+	if d := atlas.FailStopMTBFDays(); math.Abs(d-22.3) > 0.2 {
+		t.Errorf("Atlas fail-stop MTBF = %v days, want ~22.3", d)
+	}
+}
+
+func TestPerNodeMTBFMatchesPaper(t *testing.T) {
+	// §6.3.1: Hera per-node MTBF is 8.57 years fail-stop, 2.4 years
+	// silent.
+	hera, _ := ByName("Hera")
+	fs, s := hera.PerNodeMTBFYears()
+	if math.Abs(fs-8.57) > 0.03 {
+		t.Errorf("per-node fail-stop MTBF = %v years, want ~8.57", fs)
+	}
+	if math.Abs(s-2.4) > 0.01 {
+		t.Errorf("per-node silent MTBF = %v years, want ~2.4", s)
+	}
+}
+
+func TestWeakScaleMatchesPaper(t *testing.T) {
+	// §6.3.1: at 2^17 nodes the fail-stop MTBF is ~2064 s and the
+	// silent MTBF ~577 s.
+	hera, _ := ByName("Hera")
+	big, err := hera.WeakScale(1 << 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtbf := 1 / big.Rates.FailStop; math.Abs(mtbf-2064) > 10 {
+		t.Errorf("fail-stop MTBF at 2^17 nodes = %v s, want ~2064", mtbf)
+	}
+	if mtbf := 1 / big.Rates.Silent; math.Abs(mtbf-577) > 4 {
+		t.Errorf("silent MTBF at 2^17 nodes = %v s, want ~577", mtbf)
+	}
+	// Costs are unchanged under the weak-scaling assumption.
+	if big.Costs != hera.Costs {
+		t.Error("weak scaling must not change costs")
+	}
+	if big.Nodes != 1<<17 {
+		t.Errorf("Nodes = %d", big.Nodes)
+	}
+	if _, err := hera.WeakScale(0); err == nil {
+		t.Error("scaling to 0 nodes should fail")
+	}
+}
+
+func TestWeakScaleIdentity(t *testing.T) {
+	hera, _ := ByName("Hera")
+	same, err := hera.WeakScale(hera.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmath.Close(same.Rates.FailStop, hera.Rates.FailStop, 1e-12) ||
+		!xmath.Close(same.Rates.Silent, hera.Rates.Silent, 1e-12) {
+		t.Error("weak scaling to the same node count changed rates")
+	}
+}
+
+func TestWithDiskCost(t *testing.T) {
+	hera, _ := ByName("Hera")
+	cheap := hera.WithDiskCost(90)
+	if cheap.Costs.DiskCkpt != 90 || cheap.Costs.DiskRec != 90 {
+		t.Errorf("WithDiskCost: %+v", cheap.Costs)
+	}
+	if cheap.Costs.MemCkpt != hera.Costs.MemCkpt {
+		t.Error("WithDiskCost changed CM")
+	}
+	if hera.Costs.DiskCkpt != 300 {
+		t.Error("WithDiskCost mutated the receiver")
+	}
+}
+
+func TestWithMemCost(t *testing.T) {
+	hera, _ := ByName("Hera")
+	p := hera.WithMemCost(15)
+	if p.Costs.MemCkpt != 15 || p.Costs.MemRec != 15 || p.Costs.GuarVer != 15 {
+		t.Errorf("WithMemCost: %+v", p.Costs)
+	}
+	if !xmath.Close(p.Costs.PartVer, 0.15, 1e-12) {
+		t.Errorf("V = %v, want 0.15", p.Costs.PartVer)
+	}
+	if p.Costs.DiskCkpt != 300 {
+		t.Error("WithMemCost changed CD")
+	}
+}
+
+func TestScaleRates(t *testing.T) {
+	hera, _ := ByName("Hera")
+	s := hera.ScaleRates(2, 0.5)
+	if !xmath.Close(s.Rates.FailStop, 2*hera.Rates.FailStop, 1e-15) {
+		t.Error("fail-stop scale wrong")
+	}
+	if !xmath.Close(s.Rates.Silent, 0.5*hera.Rates.Silent, 1e-15) {
+		t.Error("silent scale wrong")
+	}
+}
+
+func TestZeroRateMTBFs(t *testing.T) {
+	p := Platform{Name: "x", Nodes: 1, Costs: Table2()[0].Costs}
+	if !math.IsInf(p.FailStopMTBFDays(), 1) || !math.IsInf(p.SilentMTBFDays(), 1) {
+		t.Error("zero rates should give infinite MTBF")
+	}
+}

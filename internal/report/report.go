@@ -1,0 +1,133 @@
+// Package report renders experiment outputs as aligned text tables and
+// CSV files, the two formats emitted by cmd/experiments for every
+// table and figure of the paper.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells are
+// an error surfaced at render time.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		if len(row) > len(t.Columns) {
+			return fmt.Errorf("report: row has %d cells for %d columns", len(row), len(t.Columns))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string, ignoring errors (they can only
+// arise from ill-formed rows, which String reports inline).
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return "report: " + err.Error()
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table (header + rows) in CSV format.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		padded := make([]string, len(t.Columns))
+		copy(padded, row)
+		if err := cw.Write(padded); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// F formats a float with the given number of significant digits.
+func F(v float64, digits int) string {
+	return strconv.FormatFloat(v, 'g', digits, 64)
+}
+
+// Fixed formats a float with a fixed number of decimals.
+func Fixed(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// Pct formats a ratio as a percentage with the given decimals.
+func Pct(v float64, decimals int) string {
+	return strconv.FormatFloat(100*v, 'f', decimals, 64) + "%"
+}
+
+// I formats an int.
+func I(v int) string { return strconv.Itoa(v) }
+
+// I64 formats an int64.
+func I64(v int64) string { return strconv.FormatInt(v, 10) }

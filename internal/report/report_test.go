@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := New("demo", "name", "value")
+	tbl.AddRow("a", "1")
+	tbl.AddRow("longer-name", "22")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Errorf("title line: %q", lines[0])
+	}
+	// The value column must start at the same offset on every line.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatalf("header: %q", lines[1])
+	}
+	if got := strings.Index(lines[3], "1"); got != idx {
+		t.Errorf("row 1 misaligned: col at %d, want %d", got, idx)
+	}
+	if got := strings.Index(lines[4], "22"); got != idx {
+		t.Errorf("row 2 misaligned: col at %d, want %d", got, idx)
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tbl := New("", "a")
+	tbl.AddRow("x")
+	out := tbl.String()
+	if strings.Contains(out, "==") {
+		t.Errorf("unexpected title: %q", out)
+	}
+}
+
+func TestRenderShortRow(t *testing.T) {
+	tbl := New("t", "a", "b", "c")
+	tbl.AddRow("only")
+	if out := tbl.String(); !strings.Contains(out, "only") {
+		t.Errorf("short row dropped: %q", out)
+	}
+}
+
+func TestRenderTooManyCells(t *testing.T) {
+	tbl := New("t", "a")
+	tbl.AddRow("1", "2")
+	var b strings.Builder
+	if err := tbl.Render(&b); err == nil {
+		t.Error("expected error for extra cells")
+	}
+	if !strings.Contains(tbl.String(), "report:") {
+		t.Error("String should surface the error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := New("t", "a", "b")
+	tbl.AddRow("1", "x,y") // comma must be quoted
+	tbl.AddRow("2")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n2,\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.000123456, 3) != "0.000123" {
+		t.Errorf("F = %q", F(0.000123456, 3))
+	}
+	if Fixed(3.14159, 2) != "3.14" {
+		t.Errorf("Fixed = %q", Fixed(3.14159, 2))
+	}
+	if Pct(0.0714, 1) != "7.1%" {
+		t.Errorf("Pct = %q", Pct(0.0714, 1))
+	}
+	if I(42) != "42" || I64(-7) != "-7" {
+		t.Error("int formatters broken")
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"respat/internal/analytic"
+	"respat/internal/core"
+	"respat/internal/faults"
+)
+
+// TestSimulatorMatchesOpErrorModel cross-validates the Section 5
+// analytical refinement: with fail-stop errors striking operations too
+// (ErrorsInOps), the simulated mean pattern time must match
+// analytic.ExactExpectedTimeWithOpErrors.
+func TestSimulatorMatchesOpErrorModel(t *testing.T) {
+	c := testCosts()
+	r := core.Rates{FailStop: 2e-4, Silent: 3e-4}
+	p := mustLayout(t, core.PDMV, 3000, 2, 3, c.Recall)
+	want, err := analytic.ExactExpectedTimeWithOpErrors(p, c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Pattern: p, Costs: c, Rates: r,
+		Patterns: 30, Runs: 500, Seed: 21, ErrorsInOps: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPerPattern := res.WallTime.Mean() / float64(res.Patterns)
+	tol := 4*res.WallTime.CI95()/float64(res.Patterns) + 0.005*want
+	if math.Abs(gotPerPattern-want) > tol {
+		t.Errorf("simulated per-pattern %v vs §5 model %v (tol %v)", gotPerPattern, want, tol)
+	}
+	// And the §5 model must fit better than the ops-error-free one.
+	plain, err := analytic.ExactExpectedTime(p, c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotPerPattern-want) > math.Abs(gotPerPattern-plain) {
+		t.Errorf("§5 model (%v) fits worse than plain (%v) for simulated %v", want, plain, gotPerPattern)
+	}
+}
+
+// TestWeibullAblation exercises the non-exponential fault generators:
+// with shape k < 1 (infant mortality / clustering) the optimal-for-
+// exponential pattern still completes and the simulator stays
+// deterministic, while the memoryless renewal sampling makes failures
+// burst after each recovery.
+func TestWeibullAblation(t *testing.T) {
+	c := testCosts()
+	p := mustLayout(t, core.PDMV, 2000, 2, 3, c.Recall)
+	mtbf := 5000.0
+	shape := 0.7
+	scale := mtbf / math.Gamma(1+1/shape) // same long-run rate as Exp(1/mtbf)
+	mkWeibull := func(run int) faults.Source {
+		s1, s2 := faults.SplitSeed(77, uint64(run))
+		w, err := faults.NewWeibull(shape, scale, s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	cfg := Config{
+		Pattern: p, Costs: c,
+		Rates:    core.Rates{Silent: 1e-4}, // silent stays exponential
+		Patterns: 20, Runs: 60, Seed: 5, ErrorsInOps: true,
+		FailSource:   mkWeibull,
+		SilentSource: nil,
+	}
+	res1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Total != res2.Total {
+		t.Error("Weibull campaign not deterministic")
+	}
+	if res1.Total.FailStop == 0 {
+		t.Error("expected Weibull failures")
+	}
+	// Sanity: overall failure count within 2x of the rate-matched
+	// exponential campaign.
+	expCfg := cfg
+	expCfg.FailSource = nil
+	expCfg.Rates = core.Rates{FailStop: 1 / mtbf, Silent: 1e-4}
+	expRes, err := Run(expCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res1.Total.FailStop) / float64(expRes.Total.FailStop)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("Weibull/exponential failure ratio %v implausible", ratio)
+	}
+}
+
+// TestLogNormalSourceInSimulator smoke-tests the third generator under
+// the full protocol.
+func TestLogNormalSourceInSimulator(t *testing.T) {
+	c := testCosts()
+	p := mustLayout(t, core.PD, 1000, 1, 1, 1)
+	res, err := Run(Config{
+		Pattern: p, Costs: c, Patterns: 10, Runs: 20, Seed: 5,
+		FailSource: func(run int) faults.Source {
+			s1, s2 := faults.SplitSeed(31, uint64(run))
+			l, err := faults.NewLogNormal(8, 1, s1, s2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l
+		},
+		SilentSource: func(int) faults.Source { return faults.Never{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.FailStop == 0 {
+		t.Error("expected log-normal failures (mean gap ~4900s)")
+	}
+	if res.Total.DiskRecs != res.Total.FailStop {
+		t.Error("every crash must trigger a disk recovery")
+	}
+}

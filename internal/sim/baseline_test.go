@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"respat/internal/core"
+	"respat/internal/xmath"
+)
+
+func TestBaselineValidation(t *testing.T) {
+	r := core.Rates{FailStop: 1e-4}
+	if _, err := Baseline(0, r, 10, 1); err == nil {
+		t.Error("zero work should fail")
+	}
+	if _, err := Baseline(100, r, 0, 1); err == nil {
+		t.Error("zero runs should fail")
+	}
+	if _, err := Baseline(100, core.Rates{FailStop: -1}, 10, 1); err == nil {
+		t.Error("invalid rates should fail")
+	}
+}
+
+func TestBaselineNoErrors(t *testing.T) {
+	res, err := Baseline(500, core.Rates{}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time.Mean() != 500 || res.Time.Std() != 0 {
+		t.Errorf("time = %v ± %v, want exactly 500", res.Time.Mean(), res.Time.Std())
+	}
+	if res.CorruptShare != 0 || res.Restarts != 0 {
+		t.Errorf("result: %+v", res)
+	}
+}
+
+func TestBaselineMatchesClosedForm(t *testing.T) {
+	// E[T] = (e^{λW} - 1)/λ; pick λW ~ 1 so restarts are frequent.
+	r := core.Rates{FailStop: 1e-3}
+	work := 1000.0
+	res, err := Baseline(work, r, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BaselineExpectedTime(work, r)
+	if math.Abs(res.Time.Mean()-want) > 4*res.Time.CI95() {
+		t.Errorf("mean %v vs closed form %v (CI %v)", res.Time.Mean(), want, res.Time.CI95())
+	}
+}
+
+func TestBaselineCorruptShareMatchesClosedForm(t *testing.T) {
+	r := core.Rates{Silent: 2e-3}
+	work := 500.0
+	res, err := Baseline(work, r, 4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - BaselineCorrectProb(work, r)
+	if math.Abs(res.CorruptShare-want) > 0.03 {
+		t.Errorf("corrupt share %v vs closed form %v", res.CorruptShare, want)
+	}
+}
+
+func TestBaselineClosedFormEdges(t *testing.T) {
+	if BaselineExpectedTime(100, core.Rates{}) != 100 {
+		t.Error("no failures should give work")
+	}
+	if !xmath.Close(BaselineCorrectProb(100, core.Rates{}), 1, 1e-15) {
+		t.Error("no silent errors: always correct")
+	}
+	// Exponential blow-up: doubling work more than doubles the time.
+	r := core.Rates{FailStop: 1e-3}
+	if !(BaselineExpectedTime(2000, r) > 2.5*BaselineExpectedTime(1000, r)) {
+		t.Error("baseline time should grow super-linearly")
+	}
+}
+
+// TestProtectionBeatsBaseline is the motivation experiment: at scale,
+// the optimal PDMV pattern finishes far sooner than the unprotected
+// baseline and never returns a corrupted result.
+func TestProtectionBeatsBaseline(t *testing.T) {
+	// A platform where λf·W_total ~ 4: the unprotected baseline wastes
+	// most of its attempts.
+	r := core.Rates{FailStop: 2e-4, Silent: 5e-4}
+	c := core.Costs{
+		DiskCkpt: 30, MemCkpt: 3, DiskRec: 30, MemRec: 3,
+		GuarVer: 3, PartVer: 0.1, Recall: 0.8,
+	}
+	total := 20000.0
+	base, err := Baseline(total, r, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Protected: patterns covering the same total work.
+	p, err := core.Layout(core.PDMV, 2000, 4, 4, c.Recall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Pattern: p, Costs: c, Rates: r,
+		Patterns: 10, Runs: 300, Seed: 11, ErrorsInOps: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	protectedTime := res.WallTime.Mean()
+	if !(protectedTime < base.Time.Mean()/2) {
+		t.Errorf("protected %v not clearly faster than baseline %v", protectedTime, base.Time.Mean())
+	}
+	if base.CorruptShare < 0.9 {
+		t.Errorf("baseline corrupt share %v should be near 1 at these rates", base.CorruptShare)
+	}
+}

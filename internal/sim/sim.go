@@ -1,0 +1,513 @@
+// Package sim is the Monte-Carlo simulator used to validate the
+// analytical model (Section 6 of the paper). It replays the execution
+// of an application protected by a computational pattern on a virtual
+// clock: fail-stop errors may strike during computations and — in the
+// Section 5 mode — during verifications, checkpoints and recoveries,
+// while silent errors strike computations only. A fail-stop error
+// triggers a disk recovery and a pattern restart; a detected silent
+// error triggers a memory recovery and a segment restart.
+//
+// Error arrivals are driven by exposure clocks: each process (fail-stop
+// and silent) accumulates exposure only while an operation it can
+// strike is running, which realises the paper's "errors strike
+// computations" semantics for arbitrary renewal processes, not just the
+// memoryless exponential.
+//
+// Detection semantics match the accounting of Proposition 3: a silent
+// error leaves the application state corrupted; each partial
+// verification executed while corrupted detects independently with
+// probability r (so a corruption surviving k partial verifications has
+// probability (1-r)^k), and a guaranteed verification always detects.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"respat/internal/core"
+	"respat/internal/faults"
+	"respat/internal/stats"
+)
+
+// Stream identifiers for deterministic per-run seed derivation.
+const (
+	streamFail = iota
+	streamSilent
+	streamDetect
+	numStreams
+)
+
+// Config parameterises a simulation campaign.
+type Config struct {
+	Pattern core.Pattern
+	Costs   core.Costs
+	Rates   core.Rates
+	// Patterns is the number of pattern instances forming the
+	// application (the paper uses 1000 optimal patterns).
+	Patterns int
+	// Runs is the number of independent Monte-Carlo repetitions (the
+	// paper uses 1000).
+	Runs int
+	// Seed makes the whole campaign reproducible; runs are seeded
+	// independently of scheduling, so results do not depend on Workers.
+	Seed uint64
+	// ErrorsInOps enables fail-stop errors during verifications,
+	// checkpoints and recoveries (the Section 5 / reference-simulator
+	// behaviour). When false, the Sections 3-4 assumption holds and
+	// only computations are exposed.
+	ErrorsInOps bool
+	// Workers bounds the number of parallel simulation goroutines;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// FailSource and SilentSource optionally override the exponential
+	// arrival processes (e.g. Weibull ablations or trace replay in
+	// tests). They are invoked once per run with the run index.
+	FailSource   func(run int) faults.Source
+	SilentSource func(run int) faults.Source
+}
+
+// Counters tallies the events of one run (or, summed, of a campaign).
+// MemRecs counts only standalone memory recoveries triggered by a
+// verification alarm; the memory restore bundled with every disk
+// recovery is part of DiskRecs, matching the paper's Figure 6e
+// accounting.
+type Counters struct {
+	FailStop     int64 // fail-stop errors injected
+	Silent       int64 // silent errors injected
+	SilentMasked int64 // corruptions wiped by a fail-stop before detection
+	DiskCkpts    int64 // completed disk checkpoints
+	MemCkpts     int64 // completed memory checkpoints
+	PartVerifs   int64 // completed partial verifications
+	GuarVerifs   int64 // completed guaranteed verifications
+	DiskRecs     int64 // disk recoveries (each includes a memory restore)
+	MemRecs      int64 // standalone memory recoveries
+	DetectByPart int64 // corruptions caught by a partial verification
+	DetectByGuar int64 // corruptions caught by a guaranteed verification
+}
+
+func (c *Counters) add(o Counters) {
+	c.FailStop += o.FailStop
+	c.Silent += o.Silent
+	c.SilentMasked += o.SilentMasked
+	c.DiskCkpts += o.DiskCkpts
+	c.MemCkpts += o.MemCkpts
+	c.PartVerifs += o.PartVerifs
+	c.GuarVerifs += o.GuarVerifs
+	c.DiskRecs += o.DiskRecs
+	c.MemRecs += o.MemRecs
+	c.DetectByPart += o.DetectByPart
+	c.DetectByGuar += o.DetectByGuar
+}
+
+// Verifs returns partial plus guaranteed verifications.
+func (c Counters) Verifs() int64 { return c.PartVerifs + c.GuarVerifs }
+
+// Result aggregates a campaign.
+type Result struct {
+	Runs        int
+	Patterns    int
+	PatternWork float64      // W of the simulated pattern
+	Overhead    stats.Sample // per-run (time-work)/work
+	WallTime    stats.Sample // per-run total simulated seconds
+	Total       Counters     // summed over runs
+}
+
+// TotalTime returns the summed simulated wall-clock over all runs.
+func (r Result) TotalTime() float64 { return r.WallTime.Mean() * float64(r.WallTime.N()) }
+
+// PerHour converts a campaign-total event count into the average
+// number of events per simulated hour.
+func (r Result) PerHour(count int64) float64 {
+	t := r.TotalTime()
+	if t == 0 {
+		return 0
+	}
+	return float64(count) / (t / 3600)
+}
+
+// PerDay converts a campaign-total event count into the average number
+// of events per simulated day.
+func (r Result) PerDay(count int64) float64 { return r.PerHour(count) * 24 }
+
+// PerPattern converts a campaign-total event count into the average
+// number of events per executed pattern.
+func (r Result) PerPattern(count int64) float64 {
+	n := float64(r.Runs) * float64(r.Patterns)
+	if n == 0 {
+		return 0
+	}
+	return float64(count) / n
+}
+
+// Validate checks the configuration.
+func (cfg Config) Validate() error {
+	if err := cfg.Pattern.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		return err
+	}
+	if cfg.FailSource == nil || cfg.SilentSource == nil {
+		if err := cfg.Rates.Validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.Patterns <= 0 {
+		return fmt.Errorf("sim: Patterns = %d, need > 0", cfg.Patterns)
+	}
+	if cfg.Runs <= 0 {
+		return fmt.Errorf("sim: Runs = %d, need > 0", cfg.Runs)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("sim: Workers = %d, need >= 0", cfg.Workers)
+	}
+	return nil
+}
+
+// Run executes the campaign, distributing runs over worker goroutines.
+// Results are deterministic in cfg.Seed and independent of Workers.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+
+	type partial struct {
+		overhead stats.Sample
+		wall     stats.Sample
+		total    Counters
+		err      error
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &parts[w]
+			for run := w; run < cfg.Runs; run += workers {
+				ex, err := newExecutor(cfg, run)
+				if err != nil {
+					p.err = err
+					return
+				}
+				cnt, elapsed := ex.runAll()
+				work := cfg.Pattern.W * float64(cfg.Patterns)
+				p.overhead.Add((elapsed - work) / work)
+				p.wall.Add(elapsed)
+				p.total.add(cnt)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := Result{Runs: cfg.Runs, Patterns: cfg.Patterns, PatternWork: cfg.Pattern.W}
+	for i := range parts {
+		if parts[i].err != nil {
+			return Result{}, parts[i].err
+		}
+		res.Overhead.AddSample(parts[i].overhead)
+		res.WallTime.AddSample(parts[i].wall)
+		res.Total.add(parts[i].total)
+	}
+	return res, nil
+}
+
+// process drives one error source on an exposure clock.
+type process struct {
+	src   faults.Source
+	clock float64 // accumulated exposure
+	next  float64 // next arrival on the exposure clock
+}
+
+func newProcess(src faults.Source) process {
+	return process{src: src, next: src.Next(0)}
+}
+
+// within reports the exposure distance to the next arrival and whether
+// it falls inside the next d units of exposure.
+func (p *process) within(d float64) (float64, bool) {
+	dt := p.next - p.clock
+	return dt, dt <= d
+}
+
+// advance consumes d units of exposure known to contain no arrival.
+func (p *process) advance(d float64) { p.clock += d }
+
+// consume advances to the pending arrival and schedules the next one.
+func (p *process) consume() {
+	p.clock = p.next
+	p.next = p.src.Next(p.clock)
+}
+
+// executor simulates one run.
+type executor struct {
+	cfg       Config
+	sched     []core.Action
+	segStart  []int // schedule index of each segment's first action
+	fail      process
+	silent    process
+	detect    *faults.Bernoulli
+	now       float64
+	corrupted bool
+	cnt       Counters
+	// Optional event recorder (TraceOne) plus its position context.
+	rec    func(Event)
+	curSeg int
+	patIdx int
+}
+
+// emit records a timeline event when tracing is enabled.
+func (e *executor) emit(k EventKind, op core.Op) {
+	if e.rec != nil {
+		e.rec(Event{Time: e.now, Kind: k, Op: op, Segment: e.curSeg, Pattern: e.patIdx})
+	}
+}
+
+func newExecutor(cfg Config, run int) (*executor, error) {
+	mk := func(factory func(int) faults.Source, rate float64, stream uint64) (faults.Source, error) {
+		if factory != nil {
+			return factory(run), nil
+		}
+		s1, s2 := faults.SplitSeed(cfg.Seed, uint64(run)*numStreams+stream)
+		return faults.NewExponential(rate, s1, s2)
+	}
+	failSrc, err := mk(cfg.FailSource, cfg.Rates.FailStop, streamFail)
+	if err != nil {
+		return nil, err
+	}
+	silentSrc, err := mk(cfg.SilentSource, cfg.Rates.Silent, streamSilent)
+	if err != nil {
+		return nil, err
+	}
+	d1, d2 := faults.SplitSeed(cfg.Seed, uint64(run)*numStreams+streamDetect)
+	sched := cfg.Pattern.Schedule()
+	segStart := make([]int, cfg.Pattern.N())
+	seen := 0
+	for i, a := range sched {
+		if a.Op == core.OpChunk && a.Chunk == 0 && a.Segment == seen {
+			segStart[seen] = i
+			seen++
+		}
+	}
+	return &executor{
+		cfg:      cfg,
+		sched:    sched,
+		segStart: segStart,
+		fail:     newProcess(failSrc),
+		silent:   newProcess(silentSrc),
+		detect:   faults.NewBernoulli(d1, d2),
+	}, nil
+}
+
+// runAll executes cfg.Patterns pattern instances and returns the event
+// counters and total elapsed virtual time.
+func (e *executor) runAll() (Counters, float64) {
+	for p := 0; p < e.cfg.Patterns; p++ {
+		e.patIdx = p
+		e.runPattern()
+		e.emit(EvPatternDone, core.OpDisk)
+	}
+	return e.cnt, e.now
+}
+
+// outcome of a protected (fail-stop-exposed) operation.
+type outcome int
+
+const (
+	opDone outcome = iota
+	opFailStop
+)
+
+// runPattern executes one pattern instance to completion, restarting
+// from the disk checkpoint on fail-stop errors and from the enclosing
+// segment's memory checkpoint on detected silent errors.
+func (e *executor) runPattern() {
+	i := 0
+	for i < len(e.sched) {
+		a := e.sched[i]
+		e.curSeg = a.Segment
+		switch a.Op {
+		case core.OpChunk:
+			if e.chunk(a.Work) == opFailStop {
+				e.diskRecovery()
+				i = 0
+				continue
+			}
+			e.emit(EvOpDone, core.OpChunk)
+		case core.OpPartVer:
+			res, detected := e.verify(core.OpPartVer, e.cfg.Costs.PartVer, e.cfg.Costs.Recall, &e.cnt.PartVerifs, &e.cnt.DetectByPart)
+			if res == opFailStop {
+				e.diskRecovery()
+				i = 0
+				continue
+			}
+			if detected {
+				if e.memRecovery() == opFailStop {
+					i = 0
+				} else {
+					i = e.segStart[a.Segment]
+				}
+				continue
+			}
+		case core.OpGuarVer:
+			res, detected := e.verify(core.OpGuarVer, e.cfg.Costs.GuarVer, 1, &e.cnt.GuarVerifs, &e.cnt.DetectByGuar)
+			if res == opFailStop {
+				e.diskRecovery()
+				i = 0
+				continue
+			}
+			if detected {
+				if e.memRecovery() == opFailStop {
+					i = 0
+				} else {
+					i = e.segStart[a.Segment]
+				}
+				continue
+			}
+		case core.OpMemCkpt:
+			if e.protectedOp(e.cfg.Costs.MemCkpt) == opFailStop {
+				e.diskRecovery()
+				i = 0
+				continue
+			}
+			e.cnt.MemCkpts++
+			e.emit(EvOpDone, core.OpMemCkpt)
+		case core.OpDisk:
+			if e.protectedOp(e.cfg.Costs.DiskCkpt) == opFailStop {
+				e.diskRecovery()
+				i = 0
+				continue
+			}
+			e.cnt.DiskCkpts++
+			e.emit(EvOpDone, core.OpDisk)
+		}
+		i++
+	}
+}
+
+// chunk executes w seconds of computation, exposed to both error
+// processes. It returns opFailStop if interrupted.
+func (e *executor) chunk(w float64) outcome {
+	remaining := w
+	for remaining > 0 {
+		fdt, fHit := e.fail.within(remaining)
+		sdt, sHit := e.silent.within(remaining)
+		if sHit && (!fHit || sdt <= fdt) {
+			// A silent error strikes first: corrupt and keep computing.
+			e.silent.consume()
+			e.fail.advance(sdt)
+			e.now += sdt
+			remaining -= sdt
+			e.corrupted = true
+			e.cnt.Silent++
+			e.emit(EvSilent, core.OpChunk)
+			continue
+		}
+		if fHit {
+			e.fail.consume()
+			e.silent.advance(fdt)
+			e.now += fdt
+			e.cnt.FailStop++
+			e.emit(EvFailStop, core.OpChunk)
+			return opFailStop
+		}
+		e.fail.advance(remaining)
+		e.silent.advance(remaining)
+		e.now += remaining
+		remaining = 0
+	}
+	return opDone
+}
+
+// protectedOp executes a non-computation operation of the given cost.
+// Silent errors never strike it; fail-stop errors do when ErrorsInOps.
+func (e *executor) protectedOp(cost float64) outcome {
+	if cost <= 0 {
+		return opDone
+	}
+	if !e.cfg.ErrorsInOps {
+		e.now += cost
+		return opDone
+	}
+	if fdt, hit := e.fail.within(cost); hit {
+		e.fail.consume()
+		e.now += fdt
+		e.cnt.FailStop++
+		e.emit(EvFailStop, core.OpChunk)
+		return opFailStop
+	}
+	e.fail.advance(cost)
+	e.now += cost
+	return opDone
+}
+
+// verify runs a verification of the given cost and recall, bumps its
+// counter on completion and reports whether an existing corruption was
+// detected.
+func (e *executor) verify(op core.Op, cost, recall float64, done, caught *int64) (outcome, bool) {
+	if e.protectedOp(cost) == opFailStop {
+		return opFailStop, false
+	}
+	*done++
+	e.emit(EvOpDone, op)
+	if e.corrupted && e.detect.Hit(recall) {
+		*caught++
+		e.emit(EvDetect, op)
+		return opDone, true
+	}
+	return opDone, false
+}
+
+// diskRecovery restores the last disk checkpoint (RD) and the memory
+// state (RM), retrying per the Section 5 semantics: a fail-stop during
+// either restore resumes from the disk read. It clears any pending
+// corruption — the restored state is verified by construction.
+func (e *executor) diskRecovery() {
+	for {
+		if e.protectedOp(e.cfg.Costs.DiskRec) == opFailStop {
+			continue
+		}
+		if e.protectedOp(e.cfg.Costs.MemRec) == opFailStop {
+			continue
+		}
+		break
+	}
+	e.cnt.DiskRecs++
+	e.emit(EvDiskRec, core.OpChunk)
+	if e.corrupted {
+		e.cnt.SilentMasked++
+		e.corrupted = false
+	}
+}
+
+// memRecovery restores the segment's memory checkpoint after a
+// verification alarm. A fail-stop during the restore escalates to a
+// full disk recovery (the memory content is lost), reported as
+// opFailStop so the caller restarts the whole pattern.
+func (e *executor) memRecovery() outcome {
+	if e.protectedOp(e.cfg.Costs.MemRec) == opFailStop {
+		e.diskRecovery()
+		return opFailStop
+	}
+	e.cnt.MemRecs++
+	e.emit(EvMemRec, core.OpChunk)
+	e.corrupted = false
+	return opDone
+}
+
+// OverheadPredictionGap returns the relative gap between a simulated
+// overhead and a model prediction, |sim - pred| / max(pred, eps); it is
+// the figure reported in EXPERIMENTS.md.
+func OverheadPredictionGap(simulated, predicted float64) float64 {
+	den := math.Max(math.Abs(predicted), 1e-12)
+	return math.Abs(simulated-predicted) / den
+}

@@ -1,0 +1,256 @@
+// Package stats provides the descriptive statistics used to aggregate
+// Monte-Carlo simulation outputs: running moments, confidence intervals,
+// histograms and two goodness-of-fit tests (Kolmogorov-Smirnov and
+// chi-square) that validate the fault generators of package faults.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"respat/internal/xmath"
+)
+
+// ErrNoData is returned when a statistic is requested from an empty sample.
+var ErrNoData = errors.New("stats: no data")
+
+// Sample accumulates streaming moments using Welford's algorithm, which
+// is numerically stable for long accumulations.
+type Sample struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddSample merges another sample (parallel reduction) using Chan et
+// al.'s pairwise update, so per-worker samples can be combined exactly.
+func (s *Sample) AddSample(o Sample) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.mean += delta * float64(o.n) / float64(n)
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the normal-approximation 95% confidence half-width of the
+// mean. For the n >= 100 runs used in the experiments the normal
+// approximation is adequate.
+func (s *Sample) CI95() float64 { return 1.959963984540054 * s.StdErr() }
+
+// String formats the sample as "mean ± ci95 [min,max] (n)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.6g ± %.2g [%.6g,%.6g] (n=%d)", s.Mean(), s.CI95(), s.min, s.max, s.n)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram is a fixed-width binned histogram over [Lo, Hi); values
+// outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	Under  int64
+	Over   int64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins = %d, need > 0", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: invalid range [%v,%v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}, nil
+}
+
+// Add bins one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard FP edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of binned observations, excluding out-of-range.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// KolmogorovSmirnov computes the one-sample KS statistic D of xs against
+// the continuous CDF cdf, and an approximate p-value via the asymptotic
+// Kolmogorov distribution. It is used to validate that the exponential
+// fault generators actually sample the advertised law.
+func KolmogorovSmirnov(xs []float64, cdf func(float64) float64) (d, p float64, err error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0, ErrNoData
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, x := range sorted {
+		f := cdf(x)
+		up := float64(i+1)/float64(n) - f
+		down := f - float64(i)/float64(n)
+		if up > d {
+			d = up
+		}
+		if down > d {
+			d = down
+		}
+	}
+	p = ksPValue(d, n)
+	return d, p, nil
+}
+
+// ksPValue approximates P(D_n > d) with the Kolmogorov asymptotic series
+// evaluated at sqrt(n)*d with the Stephens small-sample correction.
+func ksPValue(d float64, n int) float64 {
+	sn := math.Sqrt(float64(n))
+	t := (sn + 0.12 + 0.11/sn) * d
+	if t < 1e-6 {
+		return 1
+	}
+	// P = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 t^2)
+	var sum xmath.Accumulator
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*t*t)
+		sum.Add(term)
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum.Value()
+	return xmath.Clamp(p, 0, 1)
+}
+
+// ChiSquare computes Pearson's chi-square statistic for observed counts
+// against expected counts and returns the statistic and the degrees of
+// freedom (len-1). Expected entries must be positive.
+func ChiSquare(observed []int64, expected []float64) (stat float64, dof int, err error) {
+	if len(observed) == 0 || len(observed) != len(expected) {
+		return 0, 0, fmt.Errorf("stats: chi-square needs matching non-empty slices, got %d and %d", len(observed), len(expected))
+	}
+	var acc xmath.Accumulator
+	for i, o := range observed {
+		e := expected[i]
+		if e <= 0 {
+			return 0, 0, fmt.Errorf("stats: expected[%d] = %v, need > 0", i, e)
+		}
+		diff := float64(o) - e
+		acc.Add(diff * diff / e)
+	}
+	return acc.Value(), len(observed) - 1, nil
+}
+
+// ChiSquareCritical95 returns the 95th-percentile critical value of the
+// chi-square distribution with dof degrees of freedom, via the
+// Wilson-Hilferty approximation (accurate to ~1% for dof >= 3).
+func ChiSquareCritical95(dof int) float64 {
+	if dof <= 0 {
+		return 0
+	}
+	k := float64(dof)
+	z := 1.6448536269514722 // 95th percentile of N(0,1)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}

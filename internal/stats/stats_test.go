@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"respat/internal/xmath"
+)
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if !xmath.Close(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if !xmath.Close(s.Var(), 32.0/7.0, 1e-12) {
+		t.Errorf("Var = %v, want %v", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min,Max = %v,%v, want 2,9", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestSampleMergeMatchesSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e150 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var s1, s2, merged, seq Sample
+		for _, x := range a {
+			s1.Add(x)
+			seq.Add(x)
+		}
+		for _, x := range b {
+			s2.Add(x)
+			seq.Add(x)
+		}
+		merged.AddSample(s1)
+		merged.AddSample(s2)
+		if merged.N() != seq.N() {
+			return false
+		}
+		if seq.N() == 0 {
+			return true
+		}
+		return xmath.Close(merged.Mean(), seq.Mean(), 1e-9) &&
+			xmath.Close(merged.Var(), seq.Var(), 1e-6) &&
+			merged.Min() == seq.Min() && merged.Max() == seq.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	if got := s.String(); got == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.Close(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("expected error for q out of range")
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under,Over = %d,%d, want 1,2", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Errorf("Counts = %v", h.Counts)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d, want 4", h.Total())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("expected error for empty range")
+	}
+}
+
+func TestKSAcceptsCorrectDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	xs := make([]float64, 2000)
+	lambda := 2.5
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() / lambda
+	}
+	cdf := func(x float64) float64 { return 1 - math.Exp(-lambda*x) }
+	d, p, err := KolmogorovSmirnov(xs, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("KS rejected correct exponential law: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() / 2.5
+	}
+	// Test against an exponential with a 2x wrong rate.
+	cdf := func(x float64) float64 { return 1 - math.Exp(-5.0*x) }
+	_, p, err := KolmogorovSmirnov(xs, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-4 {
+		t.Errorf("KS failed to reject wrong law: p=%v", p)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if _, _, err := KolmogorovSmirnov(nil, func(float64) float64 { return 0 }); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	obs := []int64{95, 105, 102, 98, 100}
+	exp := []float64{100, 100, 100, 100, 100}
+	stat, dof, err := ChiSquare(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof != 4 {
+		t.Errorf("dof = %d, want 4", dof)
+	}
+	if stat > ChiSquareCritical95(dof) {
+		t.Errorf("chi2 = %v rejected a near-uniform sample (crit %v)", stat, ChiSquareCritical95(dof))
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquare(nil, nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, _, err := ChiSquare([]int64{1}, []float64{0}); err == nil {
+		t.Error("expected error on zero expected count")
+	}
+	if _, _, err := ChiSquare([]int64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error on length mismatch")
+	}
+}
+
+func TestChiSquareCritical95KnownValues(t *testing.T) {
+	// Reference values: dof=5 -> 11.070, dof=10 -> 18.307.
+	if got := ChiSquareCritical95(5); math.Abs(got-11.070) > 0.15 {
+		t.Errorf("crit(5) = %v, want ~11.07", got)
+	}
+	if got := ChiSquareCritical95(10); math.Abs(got-18.307) > 0.15 {
+		t.Errorf("crit(10) = %v, want ~18.31", got)
+	}
+	if ChiSquareCritical95(0) != 0 {
+		t.Error("crit(0) should be 0")
+	}
+}

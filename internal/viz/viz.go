@@ -1,0 +1,237 @@
+// Package viz renders ASCII line charts for the experiment figures:
+// overhead-vs-nodes curves (Figures 7/8), period and rate sweeps
+// (Figure 9). It is deliberately small — fixed-grid scatter plots with
+// linear interpolation between points — but sufficient to eyeball the
+// paper's shapes straight from a terminal or a results file.
+package viz
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ErrEmpty is returned when a chart has no drawable points.
+var ErrEmpty = errors.New("viz: no drawable points")
+
+// markers are assigned to series in order.
+var markers = []byte{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a fixed-size ASCII chart.
+type Chart struct {
+	Title  string
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	type pt struct{ x, y float64 }
+	series := make([][]pt, 0, len(c.Series))
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("viz: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		var pts []pt
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			pts = append(pts, pt{x, y})
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+			} else {
+				xmin = math.Min(xmin, x)
+				xmax = math.Max(xmax, x)
+				ymin = math.Min(ymin, y)
+				ymax = math.Max(ymax, y)
+			}
+		}
+		series = append(series, pts)
+	}
+	if first {
+		return ErrEmpty
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	// Interpolated segments first (dots), then markers on top.
+	for si, pts := range series {
+		for i := 1; i < len(pts); i++ {
+			drawSegment(grid, col(pts[i-1].x), row(pts[i-1].y), col(pts[i].x), row(pts[i].y))
+		}
+		_ = si
+	}
+	for si, pts := range series {
+		m := markers[si%len(markers)]
+		for _, p := range pts {
+			grid[row(p.y)][col(p.x)] = m
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	unlog := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	yTop := fmt.Sprintf("%.4g", unlog(ymax, c.LogY))
+	yBot := fmt.Sprintf("%.4g", unlog(ymin, c.LogY))
+	lw := len(yTop)
+	if len(yBot) > lw {
+		lw = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", lw)
+		switch r {
+		case 0:
+			label = pad(yTop, lw)
+		case height - 1:
+			label = pad(yBot, lw)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", lw), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xLeft := fmt.Sprintf("%.4g", unlog(xmin, c.LogX))
+	xRight := fmt.Sprintf("%.4g", unlog(xmax, c.LogX))
+	gap := width - len(xLeft) - len(xRight)
+	if gap < 1 {
+		gap = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", lw), xLeft, strings.Repeat(" ", gap), xRight); err != nil {
+		return err
+	}
+	var legend []string
+	for i, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[i%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%s  [%s]\n", strings.Repeat(" ", lw), strings.Join(legend, "  "))
+	return err
+}
+
+// String renders to a string; errors are reported inline.
+func (c *Chart) String() string {
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		return "viz: " + err.Error()
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// drawSegment draws a light Bresenham line of '.' between two grid
+// cells, leaving existing non-space cells untouched.
+func drawSegment(grid [][]byte, c0, r0, c1, r1 int) {
+	dc := abs(c1 - c0)
+	dr := -abs(r1 - r0)
+	sc := 1
+	if c0 > c1 {
+		sc = -1
+	}
+	sr := 1
+	if r0 > r1 {
+		sr = -1
+	}
+	err := dc + dr
+	for {
+		if grid[r0][c0] == ' ' {
+			grid[r0][c0] = '.'
+		}
+		if c0 == c1 && r0 == r1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dr {
+			err += dr
+			c0 += sc
+		}
+		if e2 <= dc {
+			err += dc
+			r0 += sr
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

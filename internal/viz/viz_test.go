@@ -1,0 +1,132 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	c := &Chart{
+		Title:  "demo",
+		Width:  21,
+		Height: 5,
+		Series: []Series{
+			{Name: "up", X: []float64{0, 10}, Y: []float64{0, 10}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 5 rows + axis + x labels + legend = 9 lines.
+	if len(lines) != 9 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// The first point (0,0) maps to bottom-left, the last (10,10) to
+	// top-right.
+	top := lines[1]
+	bottom := lines[5]
+	if !strings.HasSuffix(top, "o") {
+		t.Errorf("top row should end with marker: %q", top)
+	}
+	if !strings.Contains(bottom, "|o") {
+		t.Errorf("bottom row should start with marker: %q", bottom)
+	}
+	if !strings.Contains(out, "o=up") {
+		t.Error("missing legend")
+	}
+	// Interpolation dots exist between endpoints.
+	if !strings.Contains(out, ".") {
+		t.Error("missing interpolation")
+	}
+}
+
+func TestRenderTwoSeriesDistinctMarkers(t *testing.T) {
+	c := &Chart{
+		Width: 20, Height: 5,
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1}, Y: []float64{1, 1}},
+			{Name: "b", X: []float64{0, 1}, Y: []float64{2, 2}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "o=a") || !strings.Contains(out, "+=b") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "+") {
+		t.Error("markers missing")
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	c := &Chart{
+		Width: 30, Height: 6, LogX: true,
+		Series: []Series{
+			{Name: "s", X: []float64{256, 262144}, Y: []float64{0.1, 5}},
+		},
+	}
+	out := c.String()
+	// Axis labels show the un-logged values.
+	if !strings.Contains(out, "256") {
+		t.Errorf("x label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2.621e+05") && !strings.Contains(out, "262144") {
+		t.Errorf("x max label missing:\n%s", out)
+	}
+}
+
+func TestRenderLogSkipsNonPositive(t *testing.T) {
+	c := &Chart{
+		LogY: true,
+		Series: []Series{
+			{Name: "s", X: []float64{1, 2, 3}, Y: []float64{-1, 0, 10}},
+		},
+	}
+	if err := c.Render(&strings.Builder{}); err != nil {
+		t.Fatalf("single surviving point should render: %v", err)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "s"}}}
+	if err := c.Render(&strings.Builder{}); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+	if !strings.Contains(c.String(), "viz:") {
+		t.Error("String should surface the error")
+	}
+}
+
+func TestRenderMismatchedSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := c.Render(&strings.Builder{}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (all points equal) must not divide by zero.
+	c := &Chart{
+		Width: 10, Height: 3,
+		Series: []Series{{Name: "c", X: []float64{5, 5}, Y: []float64{2, 2}}},
+	}
+	out := c.String()
+	if strings.Contains(out, "viz:") {
+		t.Fatalf("render failed: %s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("marker missing")
+	}
+}
+
+func TestMarkerCycling(t *testing.T) {
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{Name: "s", X: []float64{0, 1}, Y: []float64{float64(i), float64(i)}})
+	}
+	c := &Chart{Series: series, Width: 12, Height: 12}
+	if strings.Contains(c.String(), "viz:") {
+		t.Error("ten series should render (markers cycle)")
+	}
+}

@@ -1,0 +1,264 @@
+// Package xmath provides the small numerical substrate used throughout
+// respat: compensated summation, scalar minimisation, convex integer
+// search and root finding. All routines are dependency-free and
+// deterministic, which keeps the analytic model and the simulator
+// reproducible bit-for-bit across runs.
+package xmath
+
+import (
+	"errors"
+	"math"
+)
+
+// Eps is the default relative tolerance used by the comparison helpers.
+const Eps = 1e-9
+
+// ErrNoBracket is returned by Brent when the supplied interval does not
+// bracket a sign change.
+var ErrNoBracket = errors.New("xmath: interval does not bracket a root")
+
+// Close reports whether a and b are equal within relative tolerance tol
+// (absolute tolerance tol for numbers near zero).
+func Close(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff <= tol
+	}
+	return diff <= tol*scale
+}
+
+// Sum returns the Kahan-Babuška (Neumaier) compensated sum of xs.
+// It is accurate to within a couple of ulps even for badly conditioned
+// inputs, which matters when accumulating millions of per-operation
+// durations in the simulator.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + comp
+}
+
+// Accumulator is a streaming Neumaier-compensated accumulator.
+// The zero value is ready to use.
+type Accumulator struct {
+	sum  float64
+	comp float64
+}
+
+// Add accumulates x.
+func (a *Accumulator) Add(x float64) {
+	t := a.sum + x
+	if math.Abs(a.sum) >= math.Abs(x) {
+		a.comp += (a.sum - t) + x
+	} else {
+		a.comp += (x - t) + a.sum
+	}
+	a.sum = t
+}
+
+// Value returns the compensated total.
+func (a *Accumulator) Value() float64 { return a.sum + a.comp }
+
+// Reset clears the accumulator.
+func (a *Accumulator) Reset() { a.sum, a.comp = 0, 0 }
+
+// Expm1Div returns (e^x - 1)/x evaluated stably, with the limit value 1
+// at x = 0. It appears in the exact expected-lost-time formula
+// E[T_lost] = 1/λ - w/(e^{λw}-1).
+func Expm1Div(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return math.Expm1(x) / x
+}
+
+const invPhi = 0.6180339887498949 // (sqrt(5)-1)/2
+
+// MinimizeGolden minimises the unimodal function f on [a, b] by
+// golden-section search, stopping when the bracket is narrower than tol
+// (relative to the bracket magnitude, with an absolute floor).
+// It returns the abscissa and the value of the minimum.
+func MinimizeGolden(f func(float64) float64, a, b, tol float64) (x, fx float64) {
+	if b < a {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol*(math.Abs(a)+math.Abs(b)+1) {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}
+
+// MinimizeConvexInt minimises a convex function f over the integers in
+// [lo, hi] by ternary search. It returns the argmin and minimum value.
+// For non-convex f the result is a local minimum.
+func MinimizeConvexInt(f func(int) float64, lo, hi int) (int, float64) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for hi-lo > 2 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) <= f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	best, fbest := lo, f(lo)
+	for k := lo + 1; k <= hi; k++ {
+		if fk := f(k); fk < fbest {
+			best, fbest = k, fk
+		}
+	}
+	return best, fbest
+}
+
+// IntNeighborhood returns the candidate integer values around the
+// rational optimum x, clamped to be at least 1: max(1, floor(x)) and
+// ceil(x). This is the rounding rule of Theorems 2-4.
+func IntNeighborhood(x float64) []int {
+	lo := int(math.Floor(x))
+	if lo < 1 {
+		lo = 1
+	}
+	hi := int(math.Ceil(x))
+	if hi < 1 {
+		hi = 1
+	}
+	if lo == hi {
+		return []int{lo}
+	}
+	return []int{lo, hi}
+}
+
+// ArgminInt evaluates f over candidates and returns the minimising
+// candidate and its value. It panics on an empty candidate list.
+func ArgminInt(f func(int) float64, candidates []int) (int, float64) {
+	if len(candidates) == 0 {
+		panic("xmath: ArgminInt with no candidates")
+	}
+	best := candidates[0]
+	fbest := f(best)
+	for _, c := range candidates[1:] {
+		if fc := f(c); fc < fbest {
+			best, fbest = c, fc
+		}
+	}
+	return best, fbest
+}
+
+// Brent finds a root of f in [a, b] using the Brent-Dekker method.
+// f(a) and f(b) must have opposite signs.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, ErrNoBracket
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < 200; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.SmallestNonzeroFloat64*math.Abs(b) + tol/2
+		xm := (c - b) / 2
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
+				e, d = d, p/q
+			} else {
+				d, e = xm, xm
+			}
+		} else {
+			d, e = xm, xm
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else if xm > 0 {
+			b += tol1
+		} else {
+			b -= tol1
+		}
+		fb = f(b)
+		if (fb > 0) == (fc > 0) {
+			c, fc = a, fa
+			d, e = b-a, b-a
+		}
+	}
+	return b, nil
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// SqrtRatio returns sqrt(num/den), guarding against a zero denominator
+// (returns +Inf) and negative operands (returns NaN), mirroring the
+// W* = sqrt(oef/orw) closed form.
+func SqrtRatio(num, den float64) float64 {
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}

@@ -1,0 +1,252 @@
+package xmath
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCloseBasics(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-12, true},
+		{1, 1 + 1e-10, 1e-9, true},
+		{1, 1.1, 1e-3, false},
+		{0, 1e-12, 1e-9, true},
+		{0, 1e-3, 1e-9, false},
+		{1e12, 1e12 * (1 + 1e-10), 1e-9, true},
+		{-5, -5, 0, true},
+	}
+	for _, c := range cases {
+		if got := Close(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("Close(%v,%v,%v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestSumCompensation(t *testing.T) {
+	// 1 + 1e100 - 1e100 + 1 loses a term with naive summation.
+	xs := []float64{1, 1e100, 1, -1e100}
+	if got := Sum(xs); got != 2 {
+		t.Errorf("Sum = %v, want 2", got)
+	}
+}
+
+func TestSumMatchesAccumulator(t *testing.T) {
+	f := func(xs []float64) bool {
+		var acc Accumulator
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			acc.Add(x)
+		}
+		s := Sum(xs)
+		return (math.IsNaN(s) && math.IsNaN(acc.Value())) || Close(s, acc.Value(), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var acc Accumulator
+	acc.Add(3)
+	acc.Add(4)
+	acc.Reset()
+	if acc.Value() != 0 {
+		t.Fatalf("Value after Reset = %v, want 0", acc.Value())
+	}
+	acc.Add(1.5)
+	if acc.Value() != 1.5 {
+		t.Fatalf("Value = %v, want 1.5", acc.Value())
+	}
+}
+
+func TestExpm1Div(t *testing.T) {
+	if got := Expm1Div(0); got != 1 {
+		t.Errorf("Expm1Div(0) = %v, want 1", got)
+	}
+	// For small x, (e^x-1)/x ~= 1 + x/2.
+	x := 1e-8
+	if got, want := Expm1Div(x), 1+x/2; !Close(got, want, 1e-12) {
+		t.Errorf("Expm1Div(%v) = %v, want %v", x, got, want)
+	}
+	if got, want := Expm1Div(1.0), math.E-1; !Close(got, want, 1e-12) {
+		t.Errorf("Expm1Div(1) = %v, want %v", got, want)
+	}
+}
+
+func TestMinimizeGoldenQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3.25) * (x - 3.25) }
+	x, fx := MinimizeGolden(f, 0, 10, 1e-12)
+	if !Close(x, 3.25, 1e-6) {
+		t.Errorf("argmin = %v, want 3.25", x)
+	}
+	if fx > 1e-10 {
+		t.Errorf("min value = %v, want ~0", fx)
+	}
+}
+
+func TestMinimizeGoldenReversedBounds(t *testing.T) {
+	f := func(x float64) float64 { return math.Cosh(x - 1) }
+	x, _ := MinimizeGolden(f, 5, -5, 1e-12)
+	if !Close(x, 1, 1e-6) {
+		t.Errorf("argmin = %v, want 1", x)
+	}
+}
+
+func TestMinimizeGoldenRandomQuadratics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 50; i++ {
+		c := rng.Float64()*20 - 10
+		f := func(x float64) float64 { return 2*(x-c)*(x-c) + 1 }
+		x, fx := MinimizeGolden(f, -15, 15, 1e-12)
+		if !Close(x, c, 1e-5) {
+			t.Fatalf("argmin = %v, want %v", x, c)
+		}
+		if !Close(fx, 1, 1e-9) {
+			t.Fatalf("min = %v, want 1", fx)
+		}
+	}
+}
+
+func TestMinimizeConvexInt(t *testing.T) {
+	f := func(k int) float64 { d := float64(k) - 17.3; return d * d }
+	k, fk := MinimizeConvexInt(f, 1, 1000)
+	if k != 17 {
+		t.Errorf("argmin = %d, want 17", k)
+	}
+	if !Close(fk, 0.09, 1e-12) {
+		t.Errorf("min = %v, want 0.09", fk)
+	}
+}
+
+func TestMinimizeConvexIntTinyRange(t *testing.T) {
+	f := func(k int) float64 { return float64(k) }
+	k, _ := MinimizeConvexInt(f, 5, 5)
+	if k != 5 {
+		t.Errorf("argmin = %d, want 5", k)
+	}
+	k, _ = MinimizeConvexInt(f, 7, 3) // reversed bounds
+	if k != 3 {
+		t.Errorf("argmin = %d, want 3", k)
+	}
+}
+
+func TestIntNeighborhood(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want []int
+	}{
+		{2.3, []int{2, 3}},
+		{0.4, []int{1}},
+		{-3, []int{1}},
+		{5, []int{5}},
+		{1.0, []int{1}},
+	}
+	for _, c := range cases {
+		got := IntNeighborhood(c.x)
+		if len(got) != len(c.want) {
+			t.Errorf("IntNeighborhood(%v) = %v, want %v", c.x, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("IntNeighborhood(%v) = %v, want %v", c.x, got, c.want)
+			}
+		}
+	}
+}
+
+func TestArgminInt(t *testing.T) {
+	f := func(k int) float64 { return math.Abs(float64(k) - 6) }
+	k, fk := ArgminInt(f, []int{2, 5, 9})
+	if k != 5 || fk != 1 {
+		t.Errorf("ArgminInt = (%d,%v), want (5,1)", k, fk)
+	}
+}
+
+func TestArgminIntPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty candidates")
+		}
+	}()
+	ArgminInt(func(int) float64 { return 0 }, nil)
+}
+
+func TestBrentSimpleRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Brent(f, 0, 2, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Close(x, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %v, want sqrt(2)", x)
+	}
+}
+
+func TestBrentEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x - 1 }
+	if x, err := Brent(f, 1, 5, 1e-12); err != nil || x != 1 {
+		t.Errorf("root = (%v,%v), want (1,nil)", x, err)
+	}
+	if x, err := Brent(f, -3, 1, 1e-12); err != nil || x != 1 {
+		t.Errorf("root = (%v,%v), want (1,nil)", x, err)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Brent(f, -1, 1, 1e-12); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	// Young/Daly-like fixed point: find W with W^2 = K (via exp form).
+	f := func(w float64) float64 { return math.Exp(w) - 3 }
+	x, err := Brent(f, 0, 5, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Close(x, math.Log(3), 1e-10) {
+		t.Errorf("root = %v, want ln 3", x)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestSqrtRatio(t *testing.T) {
+	if got := SqrtRatio(9, 4); !Close(got, 1.5, 1e-12) {
+		t.Errorf("SqrtRatio(9,4) = %v, want 1.5", got)
+	}
+	if !math.IsInf(SqrtRatio(1, 0), 1) {
+		t.Error("SqrtRatio(1,0) should be +Inf")
+	}
+	if !math.IsNaN(SqrtRatio(-1, 1)) {
+		t.Error("SqrtRatio(-1,1) should be NaN")
+	}
+}
+
+func TestGoldenSectionAgainstBruteForce(t *testing.T) {
+	// The pattern-overhead shape a/x + b*x has argmin sqrt(a/b); check
+	// golden section recovers it across magnitudes.
+	for _, ab := range [][2]float64{{330.8, 3.85e-6}, {15, 1e-3}, {2500, 1e-7}} {
+		a, b := ab[0], ab[1]
+		f := func(x float64) float64 { return a/x + b*x }
+		want := math.Sqrt(a / b)
+		x, _ := MinimizeGolden(f, want/100, want*100, 1e-12)
+		if !Close(x, want, 1e-5) {
+			t.Errorf("argmin(a=%v,b=%v) = %v, want %v", a, b, x, want)
+		}
+	}
+}

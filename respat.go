@@ -1,0 +1,138 @@
+// Package respat is a Go implementation of the optimal resilience
+// patterns of Benoit, Cavelan, Robert and Sun, "Optimal resilience
+// patterns to cope with fail-stop and silent errors" (IPDPS 2016 /
+// INRIA RR-8786).
+//
+// The package protects long-running HPC applications against two
+// simultaneous error sources: fail-stop errors (crashes, handled by
+// disk checkpoints) and silent data corruptions (handled by partial or
+// guaranteed verifications plus in-memory checkpoints). Work is
+// organised into periodic patterns P(W, n, α, m, β); this package
+// computes the optimal pattern for a platform (Table 1 of the paper),
+// predicts its overhead, simulates it, and can execute a real
+// application under it.
+//
+// The three entry points:
+//
+//   - Optimal plans a pattern family for given costs and error rates
+//     (first-order optimal W*, n*, m* and overhead);
+//   - Simulate Monte-Carlo-validates a pattern (the paper's Section 6
+//     methodology);
+//   - Protect executes a real application under a pattern with real
+//     checkpoints, verifications and recoveries (internal/engine).
+//
+// Lower-level capabilities (exact expected-time evaluation, exact-model
+// planning, placement ablations, platform data) live in the internal
+// packages and are re-exported here where downstream users need them.
+package respat
+
+import (
+	"respat/internal/analytic"
+	"respat/internal/core"
+	"respat/internal/engine"
+	"respat/internal/optimize"
+	"respat/internal/platform"
+	"respat/internal/sim"
+)
+
+// Core model types.
+type (
+	// Costs groups the resilience cost parameters (CD, CM, RD, RM, V*,
+	// V, r), all in seconds except the recall r in (0,1].
+	Costs = core.Costs
+	// Rates holds the fail-stop and silent error rates (per second).
+	Rates = core.Rates
+	// Kind enumerates the six pattern families of Table 1.
+	Kind = core.Kind
+	// Pattern is the computational unit P(W, n, α, m, β).
+	Pattern = core.Pattern
+	// Plan is an optimised pattern: W*, n*, m* and predicted overhead.
+	Plan = analytic.Plan
+	// ExactPlan is a plan optimised under the exact (non-truncated)
+	// expected-time model.
+	ExactPlan = optimize.ExactPlan
+	// Platform bundles a machine's node count, error rates and costs.
+	Platform = platform.Platform
+)
+
+// The six pattern families of Table 1, from the Young/Daly-style base
+// pattern (PD) to the full two-level pattern with partial
+// verifications (PDMV).
+const (
+	PD       = core.PD       // disk checkpoints only
+	PDVStar  = core.PDVStar  // + intermediate guaranteed verifications
+	PDV      = core.PDV      // + intermediate partial verifications
+	PDM      = core.PDM      // + intermediate memory checkpoints
+	PDMVStar = core.PDMVStar // memory checkpoints + guaranteed verifications
+	PDMV     = core.PDMV     // memory checkpoints + partial verifications
+)
+
+// Kinds returns all six pattern families in Table 1 order.
+func Kinds() []Kind { return core.Kinds() }
+
+// ParseKind converts a family name ("PDMV*", case-insensitive) to a Kind.
+func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
+
+// Optimal returns the first-order optimal plan of family k (Table 1)
+// for the given costs and error rates.
+func Optimal(k Kind, c Costs, r Rates) (Plan, error) {
+	return analytic.Optimal(k, c, r)
+}
+
+// OptimalExact returns the plan minimising the exact renewal-equation
+// expected overhead (no first-order truncation). It is slower than
+// Optimal and rarely more than a fraction of a percent better.
+func OptimalExact(k Kind, c Costs, r Rates) (ExactPlan, error) {
+	return optimize.Exact(k, c, r)
+}
+
+// PredictOverhead returns the closed-form Table 1 overhead H*(P) of
+// family k (continuous relaxation).
+func PredictOverhead(k Kind, c Costs, r Rates) float64 {
+	return analytic.TableOverhead(k, c, r)
+}
+
+// ExpectedTime evaluates the exact expected execution time of an
+// arbitrary pattern under the Section 2 protocol.
+func ExpectedTime(p Pattern, c Costs, r Rates) (float64, error) {
+	return analytic.ExactExpectedTime(p, c, r)
+}
+
+// Simulation re-exports.
+type (
+	// SimConfig parameterises a Monte-Carlo campaign.
+	SimConfig = sim.Config
+	// SimResult aggregates a campaign.
+	SimResult = sim.Result
+)
+
+// Simulate runs a Monte-Carlo campaign validating a pattern.
+func Simulate(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+
+// Engine re-exports.
+type (
+	// Application is a computation protectable by the engine
+	// (Advance/Snapshot/Restore).
+	Application = engine.Application
+	// Verifier checks an application for silent corruption.
+	Verifier = engine.Verifier
+	// VerifierFunc adapts a function to Verifier.
+	VerifierFunc = engine.VerifierFunc
+	// EngineConfig assembles an engine run.
+	EngineConfig = engine.Config
+	// EngineReport summarises an engine run.
+	EngineReport = engine.Report
+	// Storage persists two-level checkpoints.
+	Storage = engine.Storage
+)
+
+// Protect executes a real application under a pattern with two-level
+// checkpointing, verification and recovery.
+func Protect(cfg EngineConfig) (EngineReport, error) { return engine.Run(cfg) }
+
+// Platforms returns the four Table 2 platforms (Hera, Atlas, Coastal,
+// Coastal-SSD) with the paper's simulation default costs.
+func Platforms() []Platform { return platform.Table2() }
+
+// PlatformByName returns the named Table 2 platform.
+func PlatformByName(name string) (Platform, error) { return platform.ByName(name) }

@@ -1,0 +1,127 @@
+package respat_test
+
+import (
+	"math"
+	"testing"
+
+	"respat"
+	"respat/internal/faults"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	hera, err := respat.PlatformByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := respat.Optimal(respat.PDMV, hera.Costs, hera.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.W <= 0 || plan.Overhead <= 0 {
+		t.Fatalf("implausible plan: %+v", plan)
+	}
+	res, err := respat.Simulate(respat.SimConfig{
+		Pattern:     plan.Pattern,
+		Costs:       hera.Costs,
+		Rates:       hera.Rates,
+		Patterns:    30,
+		Runs:        10,
+		Seed:        3,
+		ErrorsInOps: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Overhead.Mean()-plan.Overhead) > 0.02 {
+		t.Errorf("simulated %v vs predicted %v", res.Overhead.Mean(), plan.Overhead)
+	}
+}
+
+func TestFacadeKinds(t *testing.T) {
+	ks := respat.Kinds()
+	if len(ks) != 6 || ks[0] != respat.PD || ks[5] != respat.PDMV {
+		t.Errorf("Kinds = %v", ks)
+	}
+	k, err := respat.ParseKind("pdm")
+	if err != nil || k != respat.PDM {
+		t.Errorf("ParseKind = %v, %v", k, err)
+	}
+}
+
+func TestFacadePredictAndExpected(t *testing.T) {
+	hera, err := respat.PlatformByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := respat.PredictOverhead(respat.PD, hera.Costs, hera.Rates)
+	if math.Abs(h-0.0714) > 0.001 {
+		t.Errorf("PredictOverhead = %v, want ~0.0714", h)
+	}
+	plan, err := respat.Optimal(respat.PD, hera.Costs, hera.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := respat.ExpectedTime(plan.Pattern, hera.Costs, hera.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= plan.W {
+		t.Errorf("expected time %v should exceed work %v", e, plan.W)
+	}
+}
+
+func TestFacadeOptimalExact(t *testing.T) {
+	hera, err := respat.PlatformByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := respat.OptimalExact(respat.PDM, hera.Costs, hera.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := respat.Optimal(respat.PDM, hera.Costs, hera.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ep.Overhead-first.Overhead) > 0.005 {
+		t.Errorf("exact %v vs first-order %v", ep.Overhead, first.Overhead)
+	}
+}
+
+func TestFacadeProtect(t *testing.T) {
+	hera, err := respat.PlatformByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := respat.Optimal(respat.PD, hera.Costs, hera.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var work float64
+	app := appFunc(func(w float64) { work += w })
+	rep, err := respat.Protect(respat.EngineConfig{
+		App:      app,
+		Pattern:  plan.Pattern,
+		Costs:    hera.Costs,
+		Patterns: 2,
+		FailStop: faults.NewTrace([]float64{plan.W / 2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DiskRecs != 1 || rep.FailStop != 1 {
+		t.Errorf("report: %+v", rep)
+	}
+	// The engine never Advances work lost to a crash, so exactly the
+	// two committed patterns' worth of work was applied.
+	if math.Abs(work-2*plan.W)/plan.W > 1e-9 {
+		t.Errorf("work executed = %v, want %v", work, 2*plan.W)
+	}
+}
+
+// appFunc is a stateless test application counting executed work.
+type appFunc func(float64)
+
+func (f appFunc) Advance(w float64) error { f(w); return nil }
+func (appFunc) Snapshot() ([]byte, error) { return []byte{1}, nil }
+func (appFunc) Restore([]byte) error      { return nil }
