@@ -9,6 +9,7 @@ package respat_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"respat"
@@ -21,8 +22,14 @@ import (
 )
 
 // benchOpts is deliberately small; shapes remain stable because the
-// seed is fixed.
-func benchOpts() harness.Options { return harness.Options{Patterns: 30, Runs: 8, Seed: 1} }
+// seed is fixed. Campaign cells fan over all cores with one simulation
+// goroutine per cell; results are bit-identical for any worker split.
+func benchOpts() harness.Options {
+	return harness.Options{
+		Patterns: 30, Runs: 8, Seed: 1,
+		Workers: 1, CampaignWorkers: runtime.GOMAXPROCS(0),
+	}
+}
 
 func pick6(b *testing.B, rows []harness.Fig6Row, k core.Kind) harness.Fig6Row {
 	b.Helper()
@@ -292,6 +299,27 @@ func BenchmarkExactExpectedTime(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := analytic.ExactExpectedTime(plan.Pattern, hera.Costs, hera.Rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluatorEval measures one exact expected-time evaluation
+// through a reused analytic.Evaluator, the inner loop of the exact
+// planner's golden-section search.
+func BenchmarkEvaluatorEval(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	plan, err := analytic.Optimal(core.PDMV, hera.Costs, hera.Rates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := analytic.NewEvaluator(hera.Costs, hera.Rates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvalLayout(core.PDMV, plan.N, plan.M, plan.W); err != nil {
 			b.Fatal(err)
 		}
 	}

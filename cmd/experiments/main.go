@@ -7,6 +7,14 @@
 //	experiments -out results -mode fast            # minutes
 //	experiments -out results -mode full            # paper scale (hours)
 //	experiments -out results -only t1,f6,f9
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Simulation campaigns fan their (platform, family, sweep-point) cells
+// over -campaign-workers goroutines (default GOMAXPROCS) with -workers
+// simulation goroutines inside each cell (default 1); results are
+// bit-identical for any worker split. Each artefact logs its wall time
+// so regressions are diagnosable without editing code, and
+// -cpuprofile/-memprofile capture pprof profiles of the whole run.
 package main
 
 import (
@@ -14,7 +22,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"respat/internal/core"
 	"respat/internal/harness"
@@ -23,22 +34,36 @@ import (
 	"respat/internal/viz"
 )
 
+// cli groups the command-line configuration of one invocation.
+type cli struct {
+	out             string
+	mode            string
+	only            string
+	campaignWorkers int
+	simWorkers      int
+	cpuProfile      string
+	memProfile      string
+}
+
 func main() {
-	var (
-		out  = flag.String("out", "results", "output directory")
-		mode = flag.String("mode", "fast", "campaign size: fast | medium | full")
-		only = flag.String("only", "", "comma-separated experiment ids (t1,t2,f6,f7,f8,f9,ablation); empty = all")
-	)
+	var c cli
+	flag.StringVar(&c.out, "out", "results", "output directory")
+	flag.StringVar(&c.mode, "mode", "fast", "campaign size: fast | medium | full")
+	flag.StringVar(&c.only, "only", "", "comma-separated experiment ids (t1,t2,f6,f7,f8,f9,ablation); empty = all")
+	flag.IntVar(&c.campaignWorkers, "campaign-workers", runtime.GOMAXPROCS(0), "campaign cells simulated concurrently")
+	flag.IntVar(&c.simWorkers, "workers", 1, "simulation goroutines per campaign cell (0 = GOMAXPROCS)")
+	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
-	if err := run(*out, *mode, *only); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, mode, only string) error {
+func run(c cli) error {
 	var opts harness.Options
-	switch mode {
+	switch c.mode {
 	case "fast":
 		opts = harness.Fast()
 	case "medium":
@@ -46,127 +71,161 @@ func run(out, mode, only string) error {
 	case "full":
 		opts = harness.Full()
 	default:
-		return fmt.Errorf("unknown mode %q (fast|medium|full)", mode)
+		return fmt.Errorf("unknown mode %q (fast|medium|full)", c.mode)
 	}
-	if err := os.MkdirAll(out, 0o755); err != nil {
+	opts.CampaignWorkers = c.campaignWorkers
+	opts.Workers = c.simWorkers
+
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if c.memProfile != "" {
+		defer func() {
+			f, err := os.Create(c.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
+
+	if err := os.MkdirAll(c.out, 0o755); err != nil {
 		return err
 	}
 	want := map[string]bool{}
-	if only != "" {
-		for _, id := range strings.Split(only, ",") {
+	if c.only != "" {
+		for _, id := range strings.Split(c.only, ",") {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
-	if sel("t1") {
-		fmt.Println("== T1: Table 1 instantiation ==")
+	// section runs one artefact under a wall-time log line.
+	section := func(id, title string, body func() error) error {
+		if !sel(id) {
+			return nil
+		}
+		fmt.Printf("== %s: %s ==\n", strings.ToUpper(id), title)
+		start := time.Now()
+		if err := body(); err != nil {
+			return err
+		}
+		fmt.Printf("-- %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if err := section("t1", "Table 1 instantiation", func() error {
 		rows, err := harness.Table1(platform.Table2())
 		if err != nil {
 			return err
 		}
-		if err := emit(out, "table1", harness.RenderTable1(rows)); err != nil {
-			return err
-		}
+		return emit(c.out, "table1", harness.RenderTable1(rows))
+	}); err != nil {
+		return err
 	}
-	if sel("t2") {
-		fmt.Println("== T2: Table 2 platforms ==")
-		if err := emit(out, "table2", harness.RenderTable2(harness.Table2())); err != nil {
-			return err
-		}
+	if err := section("t2", "Table 2 platforms", func() error {
+		return emit(c.out, "table2", harness.RenderTable2(harness.Table2()))
+	}); err != nil {
+		return err
 	}
-	if sel("f6") {
-		fmt.Println("== F6: patterns on real platforms ==")
+	if err := section("f6", "patterns on real platforms", func() error {
 		rows, err := harness.Fig6(platform.Table2(), opts)
 		if err != nil {
 			return err
 		}
-		if err := emit(out, "fig6", harness.RenderFig6(rows)); err != nil {
+		if err := emit(c.out, "fig6", harness.RenderFig6(rows)); err != nil {
 			return err
 		}
-		if err := emitChart(out, "fig6a_hera_plot", harness.Fig6Chart("Hera", rows)); err != nil {
-			return err
-		}
+		return emitChart(c.out, "fig6a_hera_plot", harness.Fig6Chart("Hera", rows))
+	}); err != nil {
+		return err
 	}
 	both := []core.Kind{core.PD, core.PDMV}
 	nodes := []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 15, 1 << 16, 1 << 17, 1 << 18}
-	if sel("f7") {
-		fmt.Println("== F7: weak scaling, CD=300 CM=15 ==")
+	if err := section("f7", "weak scaling, CD=300 CM=15", func() error {
 		rows, err := harness.WeakScaling(nodes, 300, 15, both, opts)
 		if err != nil {
 			return err
 		}
-		if err := emit(out, "fig7", harness.RenderWeakScaling("Figure 7: weak scaling (CD=300, CM=15)", rows)); err != nil {
+		if err := emit(c.out, "fig7", harness.RenderWeakScaling("Figure 7: weak scaling (CD=300, CM=15)", rows)); err != nil {
 			return err
 		}
-		if err := emitChart(out, "fig7a_plot", harness.WeakScalingChart("Figure 7a", rows)); err != nil {
-			return err
-		}
+		return emitChart(c.out, "fig7a_plot", harness.WeakScalingChart("Figure 7a", rows))
+	}); err != nil {
+		return err
 	}
-	if sel("f8") {
-		fmt.Println("== F8: weak scaling, CD=90 CM=15 ==")
+	if err := section("f8", "weak scaling, CD=90 CM=15", func() error {
 		rows, err := harness.WeakScaling(nodes, 90, 15, both, opts)
 		if err != nil {
 			return err
 		}
-		if err := emit(out, "fig8", harness.RenderWeakScaling("Figure 8: weak scaling (CD=90, CM=15)", rows)); err != nil {
+		if err := emit(c.out, "fig8", harness.RenderWeakScaling("Figure 8: weak scaling (CD=90, CM=15)", rows)); err != nil {
 			return err
 		}
-		if err := emitChart(out, "fig8a_plot", harness.WeakScalingChart("Figure 8a", rows)); err != nil {
-			return err
-		}
+		return emitChart(c.out, "fig8a_plot", harness.WeakScalingChart("Figure 8a", rows))
+	}); err != nil {
+		return err
 	}
-	if sel("f9") {
+	if err := section("f9", "error-rate sweeps (Hera x 1e5 nodes)", func() error {
 		const sweepNodes = 100000 // §6.4: Hera scaled to 10^5 nodes
 		factors := []float64{0.2, 0.5, 0.8, 1.1, 1.4, 1.7, 2.0}
-		if mode == "full" {
+		if c.mode == "full" {
 			factors = []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0}
 		}
-		fmt.Println("== F9a-c: overhead surfaces over (lambda_f, lambda_s) ==")
 		surf, err := harness.RateSweep(sweepNodes, harness.Grid(factors), both, opts)
 		if err != nil {
 			return err
 		}
-		if err := emit(out, "fig9_surface", harness.RenderRateSweep("Figure 9a-c: overhead surfaces (Hera x 1e5 nodes)", surf)); err != nil {
+		if err := emit(c.out, "fig9_surface", harness.RenderRateSweep("Figure 9a-c: overhead surfaces (Hera x 1e5 nodes)", surf)); err != nil {
 			return err
 		}
-		fmt.Println("== F9d-g: sweep over lambda_f ==")
 		fs, err := harness.RateSweep(sweepNodes, harness.AxisFail(factors), both, opts)
 		if err != nil {
 			return err
 		}
-		if err := emit(out, "fig9_fail", harness.RenderRateSweep("Figure 9d-g: lambda_f sweep (lambda_s nominal)", fs)); err != nil {
+		if err := emit(c.out, "fig9_fail", harness.RenderRateSweep("Figure 9d-g: lambda_f sweep (lambda_s nominal)", fs)); err != nil {
 			return err
 		}
-		if err := emitChart(out, "fig9d_plot", harness.RateSweepPeriodChart("Figure 9d", fs, false)); err != nil {
+		if err := emitChart(c.out, "fig9d_plot", harness.RateSweepPeriodChart("Figure 9d", fs, false)); err != nil {
 			return err
 		}
-		fmt.Println("== F9h-k: sweep over lambda_s ==")
 		ss, err := harness.RateSweep(sweepNodes, harness.AxisSilent(factors), both, opts)
 		if err != nil {
 			return err
 		}
-		if err := emit(out, "fig9_silent", harness.RenderRateSweep("Figure 9h-k: lambda_s sweep (lambda_f nominal)", ss)); err != nil {
+		if err := emit(c.out, "fig9_silent", harness.RenderRateSweep("Figure 9h-k: lambda_s sweep (lambda_f nominal)", ss)); err != nil {
 			return err
 		}
-		if err := emitChart(out, "fig9h_plot", harness.RateSweepPeriodChart("Figure 9h", ss, true)); err != nil {
+		if err := emitChart(c.out, "fig9h_plot", harness.RateSweepPeriodChart("Figure 9h", ss, true)); err != nil {
 			return err
 		}
-		if err := emitChart(out, "fig9_overhead_plot", harness.RateSweepOverheadChart("Figure 9a/9b slice", ss, true)); err != nil {
-			return err
-		}
+		return emitChart(c.out, "fig9_overhead_plot", harness.RateSweepOverheadChart("Figure 9a/9b slice", ss, true))
+	}); err != nil {
+		return err
 	}
-	if sel("ablation") {
-		fmt.Println("== Ablation: first-order vs exact-model plans ==")
-		rows, err := harness.Ablation(platform.Table2(), core.Kinds())
+	if err := section("ablation", "first-order vs exact-model plans", func() error {
+		rows, err := harness.Ablation(platform.Table2(), core.Kinds(), opts.CampaignWorkers)
 		if err != nil {
 			return err
 		}
-		if err := emit(out, "ablation", harness.RenderAblation(rows)); err != nil {
-			return err
-		}
+		return emit(c.out, "ablation", harness.RenderAblation(rows))
+	}); err != nil {
+		return err
 	}
-	fmt.Println("wrote", out)
+	fmt.Println("wrote", c.out)
 	return nil
 }
 

@@ -6,9 +6,14 @@ import (
 	"testing"
 )
 
+// fastCli returns a small-campaign invocation writing into dir.
+func fastCli(dir, only string) cli {
+	return cli{out: dir, mode: "fast", only: only, campaignWorkers: 2, simWorkers: 1}
+}
+
 func TestRunAnalyticExperiments(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "fast", "t1,t2,ablation"); err != nil {
+	if err := run(fastCli(dir, "t1,t2,ablation")); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"table1.txt", "table1.csv", "table2.txt", "ablation.csv"} {
@@ -20,7 +25,7 @@ func TestRunAnalyticExperiments(t *testing.T) {
 
 func TestRunSimulatedExperiment(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "fast", "f6"); err != nil {
+	if err := run(fastCli(dir, "f6")); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig6.txt"))
@@ -36,14 +41,16 @@ func TestRunSimulatedExperiment(t *testing.T) {
 }
 
 func TestRunUnknownMode(t *testing.T) {
-	if err := run(t.TempDir(), "warp", ""); err == nil {
+	c := fastCli(t.TempDir(), "")
+	c.mode = "warp"
+	if err := run(c); err == nil {
 		t.Error("unknown mode should fail")
 	}
 }
 
 func TestRunUnknownSelectionIsNoop(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "fast", "nothing-matches"); err != nil {
+	if err := run(fastCli(dir, "nothing-matches")); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -52,5 +59,28 @@ func TestRunUnknownSelectionIsNoop(t *testing.T) {
 	}
 	if len(entries) != 0 {
 		t.Errorf("unexpected outputs: %v", entries)
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	c := fastCli(dir, "t2")
+	c.cpuProfile = filepath.Join(dir, "cpu.pprof")
+	c.memProfile = filepath.Join(dir, "mem.pprof")
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	// The CPU profile is finalised by the deferred StopCPUProfile, so
+	// only its existence is checked here; the heap profile must be
+	// non-empty.
+	if _, err := os.Stat(c.cpuProfile); err != nil {
+		t.Errorf("missing cpu profile: %v", err)
+	}
+	info, err := os.Stat(c.memProfile)
+	if err != nil {
+		t.Fatalf("missing mem profile: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("empty mem profile")
 	}
 }

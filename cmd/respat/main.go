@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"respat"
 	"respat/internal/analytic"
@@ -85,7 +86,7 @@ func run(platName, pattern string, cd, cm, lf, ls, recall float64, exact bool) e
 	if exact {
 		rows, err := harness.Ablation([]platform.Platform{{
 			Name: name, Nodes: 1, Costs: costs, Rates: rates,
-		}}, kinds)
+		}}, kinds, runtime.GOMAXPROCS(0))
 		if err != nil {
 			return err
 		}

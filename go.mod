@@ -1,0 +1,3 @@
+module respat
+
+go 1.24

@@ -315,36 +315,15 @@ func probAtLeastOne(lambda, w float64) float64 {
 // segments). Verifications, checkpoints and recoveries are assumed
 // error-free, matching the Sections 3-4 analysis; see ExpectedOpCosts
 // for the Section 5 refinement.
+// ExactExpectedTime is a thin wrapper over Evaluator for one-shot
+// evaluations; callers evaluating many patterns or many pattern lengths
+// under the same (costs, rates) should construct an Evaluator once.
 func ExactExpectedTime(p core.Pattern, c core.Costs, r core.Rates) (float64, error) {
-	if err := p.Validate(); err != nil {
+	ev, err := NewEvaluator(c, r)
+	if err != nil {
 		return 0, err
 	}
-	if err := c.Validate(); err != nil {
-		return 0, err
-	}
-	if err := r.Validate(); err != nil {
-		return 0, err
-	}
-	recall := c.Recall
-	if p.InteriorGuaranteed {
-		recall = 1
-	}
-	interiorCost := c.PartVer
-	if p.InteriorGuaranteed {
-		interiorCost = c.GuarVer
-	}
-	var prevSum float64 // Σ_{k<i} E_k
-	var total xmath.Accumulator
-	for i := 0; i < p.N(); i++ {
-		ei := exactSegmentTime(p, c, r, i, prevSum, recall, interiorCost)
-		if math.IsInf(ei, 1) || math.IsNaN(ei) {
-			return 0, fmt.Errorf("analytic: expected time diverged at segment %d", i)
-		}
-		total.Add(ei)
-		prevSum += ei
-	}
-	total.Add(c.DiskCkpt)
-	return total.Value(), nil
+	return ev.ExpectedTime(p)
 }
 
 // exactSegmentTime computes E_i for segment i given the expected

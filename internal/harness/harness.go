@@ -7,9 +7,12 @@ package harness
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"respat/internal/analytic"
 	"respat/internal/core"
+	"respat/internal/faults"
 	"respat/internal/optimize"
 	"respat/internal/platform"
 	"respat/internal/report"
@@ -26,8 +29,88 @@ type Options struct {
 	Runs int
 	// Seed drives all randomness deterministically.
 	Seed uint64
-	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	// Workers bounds per-cell simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// CampaignWorkers bounds how many campaign cells — one (platform,
+	// family, sweep-point) plan-and-simulate unit of Fig6, WeakScaling,
+	// RateSweep or Ablation — are in flight concurrently. 0 and 1 run
+	// cells sequentially. Results are bit-identical for any value:
+	// each cell derives its seed from (Seed, cell index) alone and
+	// writes only its own output row. When cells are fanned out, keep
+	// Workers small (e.g. 1) to avoid goroutine oversubscription.
+	CampaignWorkers int
+}
+
+// cellSeed derives the deterministic simulation seed of campaign cell
+// i, decorrelating the error streams of distinct cells.
+func (o Options) cellSeed(i int) uint64 {
+	s, _ := faults.SplitSeed(o.Seed, uint64(i))
+	return s
+}
+
+// runCells evaluates the n campaign cells with at most workers of them
+// in flight. cell(i) must write only its own output slot. After a
+// failure no new cells start (in-flight ones finish), and because cells
+// are claimed in index order the returned error is the one a
+// sequential driver would have reported: every cell below the first
+// failure was already claimed, so the lowest-indexed failing cell
+// always records its error.
+func runCells(n, workers int, cell func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := cell(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = cell(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mapCells runs cell over every element of cells on a runCells pool and
+// collects the results in cell order.
+func mapCells[C, R any](cells []C, workers int, cell func(i int, c C) (R, error)) ([]R, error) {
+	rows := make([]R, len(cells))
+	err := runCells(len(cells), workers, func(i int) error {
+		r, err := cell(i, cells[i])
+		if err != nil {
+			return err
+		}
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // Fast returns options sized for tests and benches: large enough for
@@ -53,15 +136,15 @@ func (o Options) withDefaults() Options {
 
 // simulate plans nothing: it runs the given pattern on the given
 // parameters with the reference-simulator semantics (fail-stop errors
-// everywhere, silent errors in computation).
-func simulate(pat core.Pattern, c core.Costs, r core.Rates, o Options) (sim.Result, error) {
+// everywhere, silent errors in computation), under the given cell seed.
+func simulate(pat core.Pattern, c core.Costs, r core.Rates, o Options, seed uint64) (sim.Result, error) {
 	return sim.Run(sim.Config{
 		Pattern:     pat,
 		Costs:       c,
 		Rates:       r,
 		Patterns:    o.Patterns,
 		Runs:        o.Runs,
-		Seed:        o.Seed,
+		Seed:        seed,
 		ErrorsInOps: true,
 		Workers:     o.Workers,
 	})
@@ -171,37 +254,44 @@ type Fig6Row struct {
 }
 
 // Fig6 runs the Section 6.2 experiment: the six optimal patterns on
-// each platform.
+// each platform. Cells are fanned over o.CampaignWorkers.
 func Fig6(platforms []platform.Platform, o Options) ([]Fig6Row, error) {
 	o = o.withDefaults()
-	var rows []Fig6Row
+	type cellSpec struct {
+		p platform.Platform
+		k core.Kind
+	}
+	var cells []cellSpec
 	for _, p := range platforms {
 		for _, k := range core.Kinds() {
-			plan, err := analytic.Optimal(k, p.Costs, p.Rates)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s/%v: %w", p.Name, k, err)
-			}
-			res, err := simulate(plan.Pattern, p.Costs, p.Rates, o)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s/%v: %w", p.Name, k, err)
-			}
-			rows = append(rows, Fig6Row{
-				Platform:         p.Name,
-				Kind:             k,
-				Plan:             plan,
-				Predicted:        plan.Overhead,
-				Simulated:        res.Overhead.Mean(),
-				SimCI95:          res.Overhead.CI95(),
-				PeriodHours:      plan.W / 3600,
-				DiskCkptsPerHour: res.PerHour(res.Total.DiskCkpts),
-				MemCkptsPerHour:  res.PerHour(res.Total.MemCkpts),
-				VerifsPerHour:    res.PerHour(res.Total.Verifs()),
-				DiskRecsPerDay:   res.PerDay(res.Total.DiskRecs),
-				MemRecsPerDay:    res.PerDay(res.Total.MemRecs),
-			})
+			cells = append(cells, cellSpec{p: p, k: k})
 		}
 	}
-	return rows, nil
+	return mapCells(cells, o.CampaignWorkers, func(i int, cs cellSpec) (Fig6Row, error) {
+		p, k := cs.p, cs.k
+		plan, err := analytic.Optimal(k, p.Costs, p.Rates)
+		if err != nil {
+			return Fig6Row{}, fmt.Errorf("harness: %s/%v: %w", p.Name, k, err)
+		}
+		res, err := simulate(plan.Pattern, p.Costs, p.Rates, o, o.cellSeed(i))
+		if err != nil {
+			return Fig6Row{}, fmt.Errorf("harness: %s/%v: %w", p.Name, k, err)
+		}
+		return Fig6Row{
+			Platform:         p.Name,
+			Kind:             k,
+			Plan:             plan,
+			Predicted:        plan.Overhead,
+			Simulated:        res.Overhead.Mean(),
+			SimCI95:          res.Overhead.CI95(),
+			PeriodHours:      plan.W / 3600,
+			DiskCkptsPerHour: res.PerHour(res.Total.DiskCkpts),
+			MemCkptsPerHour:  res.PerHour(res.Total.MemCkpts),
+			VerifsPerHour:    res.PerHour(res.Total.Verifs()),
+			DiskRecsPerDay:   res.PerDay(res.Total.DiskRecs),
+			MemRecsPerDay:    res.PerDay(res.Total.MemRecs),
+		}, nil
+	})
 }
 
 // RenderFig6 renders the Figure 6 metrics.
@@ -253,40 +343,47 @@ func WeakScaling(nodeCounts []int, cd, cm float64, kinds []core.Kind, o Options)
 		return nil, err
 	}
 	base := hera.WithDiskCost(cd).WithMemCost(cm)
-	var rows []WeakRow
+	type cellSpec struct {
+		p platform.Platform
+		k core.Kind
+	}
+	var cells []cellSpec
 	for _, nodes := range nodeCounts {
 		p, err := base.WeakScale(nodes)
 		if err != nil {
 			return nil, err
 		}
 		for _, k := range kinds {
-			plan, err := analytic.Optimal(k, p.Costs, p.Rates)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %d nodes/%v: %w", nodes, k, err)
-			}
-			res, err := simulate(plan.Pattern, p.Costs, p.Rates, o)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %d nodes/%v: %w", nodes, k, err)
-			}
-			rows = append(rows, WeakRow{
-				Nodes:              nodes,
-				Kind:               k,
-				Plan:               plan,
-				Predicted:          plan.Overhead,
-				Simulated:          res.Overhead.Mean(),
-				SimCI95:            res.Overhead.CI95(),
-				PeriodHours:        plan.W / 3600,
-				DiskRecsPerPattern: res.PerPattern(res.Total.DiskRecs),
-				MemRecsPerPattern:  res.PerPattern(res.Total.MemRecs),
-				DiskCkptsPerHour:   res.PerHour(res.Total.DiskCkpts),
-				MemCkptsPerHour:    res.PerHour(res.Total.MemCkpts),
-				VerifsPerHour:      res.PerHour(res.Total.Verifs()),
-				DiskRecsPerDay:     res.PerDay(res.Total.DiskRecs),
-				MemRecsPerDay:      res.PerDay(res.Total.MemRecs),
-			})
+			cells = append(cells, cellSpec{p: p, k: k})
 		}
 	}
-	return rows, nil
+	return mapCells(cells, o.CampaignWorkers, func(i int, cs cellSpec) (WeakRow, error) {
+		p, k := cs.p, cs.k
+		plan, err := analytic.Optimal(k, p.Costs, p.Rates)
+		if err != nil {
+			return WeakRow{}, fmt.Errorf("harness: %d nodes/%v: %w", p.Nodes, k, err)
+		}
+		res, err := simulate(plan.Pattern, p.Costs, p.Rates, o, o.cellSeed(i))
+		if err != nil {
+			return WeakRow{}, fmt.Errorf("harness: %d nodes/%v: %w", p.Nodes, k, err)
+		}
+		return WeakRow{
+			Nodes:              p.Nodes,
+			Kind:               k,
+			Plan:               plan,
+			Predicted:          plan.Overhead,
+			Simulated:          res.Overhead.Mean(),
+			SimCI95:            res.Overhead.CI95(),
+			PeriodHours:        plan.W / 3600,
+			DiskRecsPerPattern: res.PerPattern(res.Total.DiskRecs),
+			MemRecsPerPattern:  res.PerPattern(res.Total.MemRecs),
+			DiskCkptsPerHour:   res.PerHour(res.Total.DiskCkpts),
+			MemCkptsPerHour:    res.PerHour(res.Total.MemCkpts),
+			VerifsPerHour:      res.PerHour(res.Total.Verifs()),
+			DiskRecsPerDay:     res.PerDay(res.Total.DiskRecs),
+			MemRecsPerDay:      res.PerDay(res.Total.MemRecs),
+		}, nil
+	})
 }
 
 // RenderWeakScaling renders Figures 7/8 rows.
@@ -343,35 +440,42 @@ func RateSweep(nodes int, pairs [][2]float64, kinds []core.Kind, o Options) ([]R
 	if err != nil {
 		return nil, err
 	}
-	var out []RatePoint
+	type cellSpec struct {
+		pair [2]float64
+		k    core.Kind
+	}
+	var cells []cellSpec
 	for _, pair := range pairs {
-		p := base.ScaleRates(pair[0], pair[1])
 		for _, k := range kinds {
-			plan, err := analytic.Optimal(k, p.Costs, p.Rates)
-			if err != nil {
-				return nil, fmt.Errorf("harness: rates %vx/%vx %v: %w", pair[0], pair[1], k, err)
-			}
-			res, err := simulate(plan.Pattern, p.Costs, p.Rates, o)
-			if err != nil {
-				return nil, fmt.Errorf("harness: rates %vx/%vx %v: %w", pair[0], pair[1], k, err)
-			}
-			out = append(out, RatePoint{
-				FailFactor:       pair[0],
-				SilentFactor:     pair[1],
-				Kind:             k,
-				Plan:             plan,
-				Simulated:        res.Overhead.Mean(),
-				SimCI95:          res.Overhead.CI95(),
-				PeriodMinutes:    plan.W / 60,
-				DiskCkptsPerHour: res.PerHour(res.Total.DiskCkpts),
-				MemCkptsPerHour:  res.PerHour(res.Total.MemCkpts),
-				VerifsPerHour:    res.PerHour(res.Total.Verifs()),
-				DiskRecsPerDay:   res.PerDay(res.Total.DiskRecs),
-				MemRecsPerDay:    res.PerDay(res.Total.MemRecs),
-			})
+			cells = append(cells, cellSpec{pair: pair, k: k})
 		}
 	}
-	return out, nil
+	return mapCells(cells, o.CampaignWorkers, func(i int, cs cellSpec) (RatePoint, error) {
+		pair, k := cs.pair, cs.k
+		p := base.ScaleRates(pair[0], pair[1])
+		plan, err := analytic.Optimal(k, p.Costs, p.Rates)
+		if err != nil {
+			return RatePoint{}, fmt.Errorf("harness: rates %vx/%vx %v: %w", pair[0], pair[1], k, err)
+		}
+		res, err := simulate(plan.Pattern, p.Costs, p.Rates, o, o.cellSeed(i))
+		if err != nil {
+			return RatePoint{}, fmt.Errorf("harness: rates %vx/%vx %v: %w", pair[0], pair[1], k, err)
+		}
+		return RatePoint{
+			FailFactor:       pair[0],
+			SilentFactor:     pair[1],
+			Kind:             k,
+			Plan:             plan,
+			Simulated:        res.Overhead.Mean(),
+			SimCI95:          res.Overhead.CI95(),
+			PeriodMinutes:    plan.W / 60,
+			DiskCkptsPerHour: res.PerHour(res.Total.DiskCkpts),
+			MemCkptsPerHour:  res.PerHour(res.Total.MemCkpts),
+			VerifsPerHour:    res.PerHour(res.Total.Verifs()),
+			DiskRecsPerDay:   res.PerDay(res.Total.DiskRecs),
+			MemRecsPerDay:    res.PerDay(res.Total.MemRecs),
+		}, nil
+	})
 }
 
 // Grid builds the full factor grid factors×factors for Figures 9a-9c.
@@ -428,19 +532,27 @@ type AblationRow struct {
 	Cmp      optimize.Comparison
 }
 
-// Ablation runs optimize.Compare on each (platform, family).
-func Ablation(platforms []platform.Platform, kinds []core.Kind) ([]AblationRow, error) {
-	var rows []AblationRow
+// Ablation runs optimize.Compare on each (platform, family), fanning
+// the comparisons over workers (0 or 1 = sequential).
+func Ablation(platforms []platform.Platform, kinds []core.Kind, workers int) ([]AblationRow, error) {
+	type cellSpec struct {
+		p platform.Platform
+		k core.Kind
+	}
+	var cells []cellSpec
 	for _, p := range platforms {
 		for _, k := range kinds {
-			cmp, err := optimize.Compare(k, p.Costs, p.Rates)
-			if err != nil {
-				return nil, fmt.Errorf("harness: ablation %s/%v: %w", p.Name, k, err)
-			}
-			rows = append(rows, AblationRow{Platform: p.Name, Cmp: cmp})
+			cells = append(cells, cellSpec{p: p, k: k})
 		}
 	}
-	return rows, nil
+	return mapCells(cells, workers, func(_ int, cs cellSpec) (AblationRow, error) {
+		p, k := cs.p, cs.k
+		cmp, err := optimize.Compare(k, p.Costs, p.Rates)
+		if err != nil {
+			return AblationRow{}, fmt.Errorf("harness: ablation %s/%v: %w", p.Name, k, err)
+		}
+		return AblationRow{Platform: p.Name, Cmp: cmp}, nil
+	})
 }
 
 // RenderAblation renders the planner comparison.

@@ -41,6 +41,17 @@ func (p ExactPlan) String() string {
 // search bracket is centred on the first-order W* and spans two orders
 // of magnitude each way.
 func OptimizeW(k core.Kind, c core.Costs, r core.Rates, n, m int) (w, overhead float64, err error) {
+	ev, err := analytic.NewEvaluator(c, r)
+	if err != nil {
+		return 0, 0, err
+	}
+	return optimizeW(ev, k, n, m)
+}
+
+// optimizeW is OptimizeW on a shared evaluator: the inner golden-section
+// probes only rescale W against the evaluator's cached (n, m) layout.
+func optimizeW(ev *analytic.Evaluator, k core.Kind, n, m int) (w, overhead float64, err error) {
+	c, r := ev.Costs(), ev.Rates()
 	if r.Total() == 0 {
 		return 0, 0, analytic.ErrDegenerate
 	}
@@ -52,17 +63,12 @@ func OptimizeW(k core.Kind, c core.Costs, r core.Rates, n, m int) (w, overhead f
 	}
 	var evalErr error
 	h := func(w float64) float64 {
-		p, err := core.Layout(k, w, n, m, c.Recall)
+		h, err := ev.EvalLayoutOverhead(k, n, m, w)
 		if err != nil {
 			evalErr = err
 			return math.Inf(1)
 		}
-		e, err := analytic.ExactExpectedTime(p, c, r)
-		if err != nil {
-			evalErr = err
-			return math.Inf(1)
-		}
-		return e/w - 1
+		return h
 	}
 	w, overhead = xmath.MinimizeGolden(h, guess/100, guess*100, 1e-10)
 	if evalErr != nil {
@@ -79,6 +85,23 @@ func Exact(k core.Kind, c core.Costs, r core.Rates) (ExactPlan, error) {
 	if err != nil {
 		return ExactPlan{}, err
 	}
+	return ExactFrom(first, c, r)
+}
+
+// ExactFrom is Exact seeded with an already-computed first-order plan,
+// so callers that have one (e.g. Compare) do not recompute
+// analytic.Optimal for the same inputs.
+func ExactFrom(first analytic.Plan, c core.Costs, r core.Rates) (ExactPlan, error) {
+	ev, err := analytic.NewEvaluator(c, r)
+	if err != nil {
+		return ExactPlan{}, err
+	}
+	return exactFrom(ev, first)
+}
+
+// exactFrom runs the integer (n, m) search on a shared evaluator.
+func exactFrom(ev *analytic.Evaluator, first analytic.Plan) (ExactPlan, error) {
+	k, c := first.Kind, ev.Costs()
 	maxN, maxM := 1, 1
 	if k.MultiSegment() {
 		maxN = min(3*first.N+4, analytic.MaxSplit)
@@ -97,7 +120,7 @@ func Exact(k core.Kind, c core.Costs, r core.Rates) (ExactPlan, error) {
 		if e, ok := memo[key]; ok {
 			return e
 		}
-		w, h, err := OptimizeW(k, c, r, n, m)
+		w, h, err := optimizeW(ev, k, n, m)
 		e := eval{w: w, h: h, err: err}
 		memo[key] = e
 		return e
@@ -145,21 +168,26 @@ type Comparison struct {
 }
 
 // Compare runs both planners for family k and evaluates the
-// first-order plan under the exact model.
+// first-order plan under the exact model. The first-order plan is
+// computed once and threaded into the exact search; all exact-model
+// evaluations share one Evaluator.
 func Compare(k core.Kind, c core.Costs, r core.Rates) (Comparison, error) {
 	first, err := analytic.Optimal(k, c, r)
 	if err != nil {
 		return Comparison{}, err
 	}
-	exact, err := Exact(k, c, r)
+	ev, err := analytic.NewEvaluator(c, r)
 	if err != nil {
 		return Comparison{}, err
 	}
-	e, err := analytic.ExactExpectedTime(first.Pattern, c, r)
+	exact, err := exactFrom(ev, first)
 	if err != nil {
 		return Comparison{}, err
 	}
-	hFirst := e/first.W - 1
+	hFirst, err := ev.EvalLayoutOverhead(k, first.N, first.M, first.W)
+	if err != nil {
+		return Comparison{}, err
+	}
 	regret := 0.0
 	if exact.Overhead > 0 {
 		regret = (hFirst - exact.Overhead) / exact.Overhead

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"respat/internal/core"
+)
+
+// TestRunBitIdenticalAcrossWorkerCounts asserts the strong guarantee
+// documented on Run: the whole Result — counters, overhead and
+// wall-time statistics — is bit-identical for Workers ∈
+// {1, 2, GOMAXPROCS}, because random streams derive from (Seed, run)
+// alone and per-run statistics are reduced in run order.
+func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	c := testCosts()
+	p := mustLayout(t, core.PDMV, 2000, 2, 3, c.Recall)
+	base := Config{
+		Pattern: p, Costs: c,
+		Rates:    core.Rates{FailStop: 5e-5, Silent: 1e-4},
+		Patterns: 10, Runs: 12, Seed: 42, ErrorsInOps: true,
+	}
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var ref Result
+	for i, workers := range counts {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res != ref {
+			t.Errorf("Workers=%d result differs from Workers=%d:\n%+v\nvs\n%+v",
+				workers, counts[0], res, ref)
+		}
+	}
+}

@@ -23,6 +23,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 
@@ -167,7 +168,10 @@ func (cfg Config) Validate() error {
 }
 
 // Run executes the campaign, distributing runs over worker goroutines.
-// Results are deterministic in cfg.Seed and independent of Workers.
+// Results are bit-identical for a fixed cfg.Seed regardless of Workers:
+// every run derives its random streams from (Seed, run) alone, each
+// worker reuses one executor against a campaign-shared immutable plan,
+// and per-run statistics are reduced in run order.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -180,43 +184,35 @@ func Run(cfg Config) (Result, error) {
 		workers = cfg.Runs
 	}
 
-	type partial struct {
-		overhead stats.Sample
-		wall     stats.Sample
-		total    Counters
-		err      error
-	}
-	parts := make([]partial, workers)
+	pl := newPlan(cfg.Pattern)
+	work := cfg.Pattern.W * float64(cfg.Patterns)
+	overheads := make([]float64, cfg.Runs)
+	walls := make([]float64, cfg.Runs)
+	totals := make([]Counters, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			p := &parts[w]
+			ex := newExecutor(&cfg, pl)
 			for run := w; run < cfg.Runs; run += workers {
-				ex, err := newExecutor(cfg, run)
-				if err != nil {
-					p.err = err
-					return
-				}
+				ex.reset(run)
 				cnt, elapsed := ex.runAll()
-				work := cfg.Pattern.W * float64(cfg.Patterns)
-				p.overhead.Add((elapsed - work) / work)
-				p.wall.Add(elapsed)
-				p.total.add(cnt)
+				overheads[run] = (elapsed - work) / work
+				walls[run] = elapsed
+				totals[w].add(cnt)
 			}
 		}(w)
 	}
 	wg.Wait()
 
 	res := Result{Runs: cfg.Runs, Patterns: cfg.Patterns, PatternWork: cfg.Pattern.W}
-	for i := range parts {
-		if parts[i].err != nil {
-			return Result{}, parts[i].err
-		}
-		res.Overhead.AddSample(parts[i].overhead)
-		res.WallTime.AddSample(parts[i].wall)
-		res.Total.add(parts[i].total)
+	for run := range overheads {
+		res.Overhead.Add(overheads[run])
+		res.WallTime.Add(walls[run])
+	}
+	for i := range totals {
+		res.Total.add(totals[i])
 	}
 	return res, nil
 }
@@ -248,17 +244,47 @@ func (p *process) consume() {
 	p.next = p.src.Next(p.clock)
 }
 
-// executor simulates one run.
+// plan is the immutable flattening of a pattern shared by every run of
+// a campaign: the executable schedule and each segment's first action
+// index. Building it once per Run (instead of once per run, as the
+// executor used to) removes the dominant per-run allocations of
+// paper-scale campaigns.
+type plan struct {
+	sched    []core.Action
+	segStart []int // schedule index of each segment's first action
+}
+
+func newPlan(p core.Pattern) *plan {
+	sched := p.Schedule()
+	segStart := make([]int, p.N())
+	seen := 0
+	for i, a := range sched {
+		if a.Op == core.OpChunk && a.Chunk == 0 && a.Segment == seen {
+			segStart[seen] = i
+			seen++
+		}
+	}
+	return &plan{sched: sched, segStart: segStart}
+}
+
+// executor simulates runs one at a time; one executor is reused across
+// all runs of a worker, reseeded per run by reset.
 type executor struct {
-	cfg       Config
-	sched     []core.Action
-	segStart  []int // schedule index of each segment's first action
+	cfg       *Config
+	plan      *plan
 	fail      process
 	silent    process
 	detect    *faults.Bernoulli
 	now       float64
 	corrupted bool
 	cnt       Counters
+	// Reusable default sources and their generators, reseeded in place
+	// per run; nil when the corresponding factory override is set.
+	failExp   *faults.Exponential
+	failPCG   *rand.PCG
+	silentExp *faults.Exponential
+	silentPCG *rand.PCG
+	detectPCG *rand.PCG
 	// Optional event recorder (TraceOne) plus its position context.
 	rec    func(Event)
 	curSeg int
@@ -272,40 +298,54 @@ func (e *executor) emit(k EventKind, op core.Op) {
 	}
 }
 
-func newExecutor(cfg Config, run int) (*executor, error) {
-	mk := func(factory func(int) faults.Source, rate float64, stream uint64) (faults.Source, error) {
-		if factory != nil {
-			return factory(run), nil
-		}
-		s1, s2 := faults.SplitSeed(cfg.Seed, uint64(run)*numStreams+stream)
-		return faults.NewExponential(rate, s1, s2)
+// newExecutor builds a reusable executor for a validated configuration
+// against a campaign-shared plan. Call reset before each run.
+func newExecutor(cfg *Config, pl *plan) *executor {
+	e := &executor{cfg: cfg, plan: pl}
+	// The rates were validated by Config.Validate whenever a default
+	// exponential source is needed, so construction cannot fail here.
+	if cfg.FailSource == nil {
+		e.failPCG = rand.NewPCG(0, 0)
+		e.failExp = &faults.Exponential{Lambda: cfg.Rates.FailStop, Rng: rand.New(e.failPCG)}
 	}
-	failSrc, err := mk(cfg.FailSource, cfg.Rates.FailStop, streamFail)
-	if err != nil {
-		return nil, err
+	if cfg.SilentSource == nil {
+		e.silentPCG = rand.NewPCG(0, 0)
+		e.silentExp = &faults.Exponential{Lambda: cfg.Rates.Silent, Rng: rand.New(e.silentPCG)}
 	}
-	silentSrc, err := mk(cfg.SilentSource, cfg.Rates.Silent, streamSilent)
-	if err != nil {
-		return nil, err
+	e.detectPCG = rand.NewPCG(0, 0)
+	e.detect = &faults.Bernoulli{Rng: rand.New(e.detectPCG)}
+	return e
+}
+
+// reset prepares the executor for one run. Every random stream depends
+// only on (cfg.Seed, run), never on scheduling, so results are
+// bit-identical across worker counts; reseeding the generators in place
+// is state-equivalent to constructing fresh ones with the same seeds.
+func (e *executor) reset(run int) {
+	var failSrc, silentSrc faults.Source
+	if e.cfg.FailSource != nil {
+		failSrc = e.cfg.FailSource(run)
+	} else {
+		s1, s2 := faults.SplitSeed(e.cfg.Seed, uint64(run)*numStreams+streamFail)
+		e.failPCG.Seed(s1, s2)
+		failSrc = e.failExp
 	}
-	d1, d2 := faults.SplitSeed(cfg.Seed, uint64(run)*numStreams+streamDetect)
-	sched := cfg.Pattern.Schedule()
-	segStart := make([]int, cfg.Pattern.N())
-	seen := 0
-	for i, a := range sched {
-		if a.Op == core.OpChunk && a.Chunk == 0 && a.Segment == seen {
-			segStart[seen] = i
-			seen++
-		}
+	if e.cfg.SilentSource != nil {
+		silentSrc = e.cfg.SilentSource(run)
+	} else {
+		s1, s2 := faults.SplitSeed(e.cfg.Seed, uint64(run)*numStreams+streamSilent)
+		e.silentPCG.Seed(s1, s2)
+		silentSrc = e.silentExp
 	}
-	return &executor{
-		cfg:      cfg,
-		sched:    sched,
-		segStart: segStart,
-		fail:     newProcess(failSrc),
-		silent:   newProcess(silentSrc),
-		detect:   faults.NewBernoulli(d1, d2),
-	}, nil
+	d1, d2 := faults.SplitSeed(e.cfg.Seed, uint64(run)*numStreams+streamDetect)
+	e.detectPCG.Seed(d1, d2)
+	e.fail = newProcess(failSrc)
+	e.silent = newProcess(silentSrc)
+	e.now = 0
+	e.corrupted = false
+	e.cnt = Counters{}
+	e.curSeg = 0
+	e.patIdx = 0
 }
 
 // runAll executes cfg.Patterns pattern instances and returns the event
@@ -332,8 +372,8 @@ const (
 // segment's memory checkpoint on detected silent errors.
 func (e *executor) runPattern() {
 	i := 0
-	for i < len(e.sched) {
-		a := e.sched[i]
+	for i < len(e.plan.sched) {
+		a := e.plan.sched[i]
 		e.curSeg = a.Segment
 		switch a.Op {
 		case core.OpChunk:
@@ -354,7 +394,7 @@ func (e *executor) runPattern() {
 				if e.memRecovery() == opFailStop {
 					i = 0
 				} else {
-					i = e.segStart[a.Segment]
+					i = e.plan.segStart[a.Segment]
 				}
 				continue
 			}
@@ -369,7 +409,7 @@ func (e *executor) runPattern() {
 				if e.memRecovery() == opFailStop {
 					i = 0
 				} else {
-					i = e.segStart[a.Segment]
+					i = e.plan.segStart[a.Segment]
 				}
 				continue
 			}

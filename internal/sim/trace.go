@@ -78,10 +78,8 @@ func TraceOne(cfg Config, run int) ([]Event, Counters, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, Counters{}, err
 	}
-	ex, err := newExecutor(cfg, run)
-	if err != nil {
-		return nil, Counters{}, err
-	}
+	ex := newExecutor(&cfg, newPlan(cfg.Pattern))
+	ex.reset(run)
 	var events []Event
 	ex.rec = func(e Event) { events = append(events, e) }
 	cnt, _ := ex.runAll()

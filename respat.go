@@ -98,6 +98,20 @@ func ExpectedTime(p Pattern, c Costs, r Rates) (float64, error) {
 	return analytic.ExactExpectedTime(p, c, r)
 }
 
+// Evaluator is a reusable exact expected-time evaluator bound to one
+// (costs, rates) configuration: it validates once, caches the layout
+// invariants of every (family, n, m) it sees, and evaluates repeated
+// pattern-length probes with a constant number of transcendental
+// operations. Use it instead of ExpectedTime in planning loops.
+type Evaluator = analytic.Evaluator
+
+// NewEvaluator validates the configuration once and returns an
+// evaluator bound to it. An Evaluator is not safe for concurrent use;
+// give each goroutine its own.
+func NewEvaluator(c Costs, r Rates) (*Evaluator, error) {
+	return analytic.NewEvaluator(c, r)
+}
+
 // Simulation re-exports.
 type (
 	// SimConfig parameterises a Monte-Carlo campaign.

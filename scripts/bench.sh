@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench.sh — snapshot the repository benchmarks as a JSON file so future
+# PRs can track the perf trajectory (see DESIGN.md §4).
+#
+# Usage: scripts/bench.sh [outdir] [benchtime]
+#   outdir    where to write BENCH_<date>.json (default: .)
+#   benchtime go test -benchtime value (default: 1x)
+#
+# Output schema: {"date": ..., "go": ..., "benchmarks":
+#   {"<name>": {"ns_per_op": N, "bytes_per_op": N, "allocs_per_op": N}}}
+set -eu
+
+outdir=${1:-.}
+benchtime=${2:-1x}
+mkdir -p "$outdir"
+date=$(date -u +%Y-%m-%d)
+out="$outdir/BENCH_${date}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchtime "$benchtime" -benchmem . | tee "$raw"
+
+goversion=$(go version | sed 's/"/\\"/g')
+awk -v date="$date" -v goversion="$goversion" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {\n", date, goversion }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+}
+END { printf "\n  }\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out"
