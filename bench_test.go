@@ -18,6 +18,7 @@ import (
 	"respat/internal/harness"
 	"respat/internal/optimize"
 	"respat/internal/platform"
+	"respat/internal/service"
 	"respat/internal/twolevel"
 )
 
@@ -338,6 +339,60 @@ func BenchmarkSimulatePattern(b *testing.B) {
 			Patterns: 10, Runs: 1, Seed: uint64(i), ErrorsInOps: true, Workers: 1,
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServicePlanHot measures the planning service's cache-hit
+// path — canonical key encoding plus the sharded LRU lookup — for an
+// exact-model plan that is already cached. The contract (DESIGN.md
+// §2.4) is 0 allocs/op and ≥ 100× the speed of the cold exact-plan
+// path below.
+func BenchmarkServicePlanHot(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	svc := service.New(service.Config{})
+	if _, err := svc.PlanExact(core.PDMV, hera.Costs, hera.Rates); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.PlanExact(core.PDMV, hera.Costs, hera.Rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServicePlanCold measures the cold exact-plan path: every
+// iteration perturbs CD so the key is new and the full exact-model
+// search runs (through the shard's reused evaluator).
+func BenchmarkServicePlanCold(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	svc := service.New(service.Config{Capacity: 1 << 22})
+	costs := hera.Costs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		costs.DiskCkpt = 300 + float64(i)*1e-6
+		if _, err := svc.PlanExact(core.PDMV, costs, hera.Rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceFirstOrderCold is the cold path of the first-order
+// endpoint (Table 1 closed forms only), the cheapest computation the
+// service fronts — the floor a cache hit is competing against.
+func BenchmarkServiceFirstOrderCold(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	svc := service.New(service.Config{Capacity: 1 << 22})
+	costs := hera.Costs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		costs.DiskCkpt = 300 + float64(i)*1e-6
+		if _, err := svc.Plan(core.PDMV, costs, hera.Rates); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,11 @@
 //	respat -platform Hera                  # all six families on Hera
 //	respat -platform Coastal -pattern PDMV # one family
 //	respat -cd 300 -cm 15 -lf 9.46e-7 -ls 3.38e-6
+//	respat -platform Hera -exact -campaign-workers 4
+//
+// With -exact, the per-family exact-model searches fan over
+// -campaign-workers goroutines (default GOMAXPROCS), the same
+// convention as cmd/experiments.
 package main
 
 import (
@@ -32,15 +37,22 @@ func main() {
 		ls       = flag.Float64("ls", 3.38e-6, "silent error rate lambda_s (/s)")
 		recall   = flag.Float64("recall", 0.8, "partial verification recall r")
 		exact    = flag.Bool("exact", false, "also compute the exact-model optimum (slower)")
+		// Parallelism flags follow the repo-wide convention (DESIGN.md
+		// §2.3): -campaign-workers fans independent (platform, family)
+		// cells over a bounded pool and defaults to GOMAXPROCS.
+		campaignWorkers = flag.Int("campaign-workers", runtime.GOMAXPROCS(0), "exact-ablation cells computed concurrently (0 = GOMAXPROCS); matches cmd/experiments -campaign-workers")
 	)
 	flag.Parse()
-	if err := run(*platName, *pattern, *cd, *cm, *lf, *ls, *recall, *exact); err != nil {
+	if err := run(*platName, *pattern, *cd, *cm, *lf, *ls, *recall, *exact, *campaignWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "respat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platName, pattern string, cd, cm, lf, ls, recall float64, exact bool) error {
+func run(platName, pattern string, cd, cm, lf, ls, recall float64, exact bool, campaignWorkers int) error {
+	if campaignWorkers <= 0 {
+		campaignWorkers = runtime.GOMAXPROCS(0)
+	}
 	var costs respat.Costs
 	var rates respat.Rates
 	name := "custom"
@@ -86,7 +98,7 @@ func run(platName, pattern string, cd, cm, lf, ls, recall float64, exact bool) e
 	if exact {
 		rows, err := harness.Ablation([]platform.Platform{{
 			Name: name, Nodes: 1, Costs: costs, Rates: rates,
-		}}, kinds, runtime.GOMAXPROCS(0))
+		}}, kinds, campaignWorkers)
 		if err != nil {
 			return err
 		}

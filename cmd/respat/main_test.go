@@ -3,37 +3,37 @@ package main
 import "testing"
 
 func TestRunBuiltinPlatform(t *testing.T) {
-	if err := run("Hera", "all", 0, 0, 0, 0, 0, false); err != nil {
+	if err := run("Hera", "all", 0, 0, 0, 0, 0, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleFamily(t *testing.T) {
-	if err := run("Coastal", "PDMV", 0, 0, 0, 0, 0, false); err != nil {
+	if err := run("Coastal", "PDMV", 0, 0, 0, 0, 0, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCustomParameters(t *testing.T) {
-	if err := run("", "PD", 300, 15.4, 9.46e-7, 3.38e-6, 0.8, false); err != nil {
+	if err := run("", "PD", 300, 15.4, 9.46e-7, 3.38e-6, 0.8, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithExactAblation(t *testing.T) {
-	if err := run("Hera", "PDM", 0, 0, 0, 0, 0, true); err != nil {
+	if err := run("Hera", "PDM", 0, 0, 0, 0, 0, true, 2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("Summit", "all", 0, 0, 0, 0, 0, false); err == nil {
+	if err := run("Summit", "all", 0, 0, 0, 0, 0, false, 0); err == nil {
 		t.Error("unknown platform should fail")
 	}
-	if err := run("Hera", "PDQ", 0, 0, 0, 0, 0, false); err == nil {
+	if err := run("Hera", "PDQ", 0, 0, 0, 0, 0, false, 0); err == nil {
 		t.Error("unknown family should fail")
 	}
-	if err := run("", "PD", 300, 15, -1, 1e-6, 0.8, false); err == nil {
+	if err := run("", "PD", 300, 15, -1, 1e-6, 0.8, false, 0); err == nil {
 		t.Error("negative rate should fail")
 	}
 }

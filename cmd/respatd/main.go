@@ -1,0 +1,133 @@
+// Command respatd serves resilience-pattern planning over HTTP: the
+// Table 1 first-order planner, the exact-model planner and the exact
+// expected-time evaluator, behind a sharded LRU plan cache with
+// request coalescing (see internal/service and DESIGN.md §2.4).
+//
+// Usage:
+//
+//	respatd -addr :8080
+//	respatd -addr :8080 -shards 32 -cache-capacity 65536 -batch-workers 8
+//
+// Endpoints:
+//
+//	POST /v1/plan        {"kind":"PDMV","platform":"Hera"}
+//	POST /v1/plan/exact  same body; exact renewal-equation optimum
+//	POST /v1/evaluate    {"pattern":{...},"platform":"Hera"}
+//	POST /v1/batch       {"requests":[{"op":"plan",...},...]}
+//	GET  /healthz        liveness
+//	GET  /metrics        cache counters + latency quantiles (JSON)
+//
+// Parallelism flags follow the repo-wide convention (see DESIGN.md
+// §2.3): -batch-workers bounds fan-out across independent work items
+// (like -campaign-workers in cmd/experiments and cmd/respat) and
+// defaults to GOMAXPROCS. Shutdown is graceful: SIGINT/SIGTERM stops
+// accepting connections and drains in-flight requests for up to
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"respat/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		shards       = flag.Int("shards", 16, "plan-cache shards (rounded up to a power of two)")
+		capacity     = flag.Int("cache-capacity", 4096, "total cached plans across all shards")
+		batchWorkers = flag.Int("batch-workers", runtime.GOMAXPROCS(0), "concurrent items per /v1/batch request (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
+		quiet        = flag.Bool("quiet", false, "disable per-request logging")
+	)
+	flag.Parse()
+	if err := run(*addr, *shards, *capacity, *batchWorkers, *drainTimeout, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "respatd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards, capacity, batchWorkers int, drainTimeout time.Duration, quiet bool) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "respatd: ", log.LstdFlags)
+	svc := service.New(service.Config{
+		Shards:       shards,
+		Capacity:     capacity,
+		BatchWorkers: batchWorkers,
+	})
+	logger.Printf("listening on %s (shards=%d capacity=%d batch-workers=%d)",
+		ln.Addr(), shards, capacity, batchWorkers)
+	return serve(ln, svc, logger, drainTimeout, quiet)
+}
+
+// serve runs the HTTP server on ln until SIGINT/SIGTERM, then drains
+// in-flight requests for up to drainTimeout. Split from run so tests
+// can inject a listener on an ephemeral port.
+func serve(ln net.Listener, svc *service.Service, logger *log.Logger, drainTimeout time.Duration, quiet bool) error {
+	var handler http.Handler = svc.Handler()
+	if !quiet {
+		handler = requestLog(logger, handler)
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down (draining up to %v)", drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained; bye")
+	return nil
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// requestLog logs one line per request: method, path, status, duration.
+func requestLog(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}

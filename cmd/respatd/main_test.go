@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"respat/internal/service"
+)
+
+// TestServeEndToEnd boots the server on an ephemeral port, exercises
+// the API over real HTTP, and shuts it down with SIGTERM (the graceful
+// path production uses).
+func TestServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := log.New(io.Discard, "", 0)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ln, service.New(service.Config{}), logger, 5*time.Second, false)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// The listener is already open, so requests cannot race the boot.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	r, err := http.Post(base+"/v1/plan", "application/json",
+		strings.NewReader(`{"kind":"PDMV","platform":"Hera"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("plan status %d: %s", r.StatusCode, body)
+	}
+	var plan struct {
+		Kind string  `json:"kind"`
+		W    float64 `json:"w"`
+	}
+	if err := json.Unmarshal(body, &plan); err != nil || plan.Kind != "PDMV" || plan.W <= 0 {
+		t.Fatalf("bad plan body: %s", body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain within 10s of SIGTERM")
+	}
+}
+
+// TestRequestLog: the middleware logs method, path, status and latency
+// and preserves the handler's status code.
+func TestRequestLog(t *testing.T) {
+	var buf strings.Builder
+	logger := log.New(&buf, "", 0)
+	h := requestLog(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/plan", nil))
+	if w.Code != http.StatusTeapot {
+		t.Fatalf("status %d, want 418", w.Code)
+	}
+	line := buf.String()
+	if !strings.Contains(line, "GET /v1/plan 418") {
+		t.Fatalf("log line %q missing method/path/status", line)
+	}
+}
+
+// TestRunBadAddr: an unbindable address fails fast instead of serving.
+func TestRunBadAddr(t *testing.T) {
+	if err := run("256.256.256.256:99999", 1, 1, 1, time.Second, true); err == nil {
+		t.Fatal("expected bind error")
+	}
+}

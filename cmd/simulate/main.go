@@ -5,6 +5,14 @@
 // Usage:
 //
 //	simulate -platform Hera -pattern PDMV -patterns 1000 -runs 100
+//	simulate -platform Atlas -pattern PD -workers 4
+//
+// Parallelism flags follow the repo-wide convention (DESIGN.md §2.3):
+// -workers bounds the simulation goroutines inside this single
+// campaign cell, exactly like cmd/experiments -workers; it defaults to
+// GOMAXPROCS here because one cell is all there is (cmd/experiments
+// defaults to 1 because it fans cells over -campaign-workers instead).
+// Results are bit-identical for any -workers value.
 package main
 
 import (
@@ -25,7 +33,7 @@ func main() {
 		patterns = flag.Int("patterns", 200, "pattern instances per run")
 		runs     = flag.Int("runs", 100, "Monte-Carlo repetitions")
 		seed     = flag.Uint64("seed", 1, "campaign seed")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "simulation goroutines in this cell (0 = GOMAXPROCS); matches cmd/experiments -workers")
 		nodes    = flag.Int("nodes", 0, "weak-scale the platform to this node count (0 = as measured)")
 		traceN   = flag.Int("trace", 0, "print the first N timeline events of run 0")
 	)

@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestMainSmoke runs the quickstart end to end in-process (plan,
+// simulate, protect). Any failure inside main aborts via log.Fatal,
+// failing the test binary.
+func TestMainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test skipped in -short mode")
+	}
+	main()
+}

@@ -131,6 +131,9 @@ const (
 // Kinds returns all six families in Table 1 order.
 func Kinds() []Kind { return []Kind{PD, PDVStar, PDV, PDM, PDMVStar, PDMV} }
 
+// Valid reports whether k is one of the six Table 1 families.
+func (k Kind) Valid() bool { return k >= 0 && k < numKinds }
+
 // String returns the paper's name for the family.
 func (k Kind) String() string {
 	switch k {

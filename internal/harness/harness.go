@@ -7,8 +7,6 @@ package harness
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"respat/internal/analytic"
 	"respat/internal/core"
@@ -16,6 +14,7 @@ import (
 	"respat/internal/optimize"
 	"respat/internal/platform"
 	"respat/internal/report"
+	"respat/internal/sched"
 	"respat/internal/sim"
 )
 
@@ -48,69 +47,18 @@ func (o Options) cellSeed(i int) uint64 {
 	return s
 }
 
-// runCells evaluates the n campaign cells with at most workers of them
-// in flight. cell(i) must write only its own output slot. After a
-// failure no new cells start (in-flight ones finish), and because cells
-// are claimed in index order the returned error is the one a
-// sequential driver would have reported: every cell below the first
-// failure was already claimed, so the lowest-indexed failing cell
-// always records its error.
+// runCells evaluates the n campaign cells on the shared bounded pool
+// of internal/sched: cells are claimed in index order, each writes only
+// its own output slot, and errors are reported as a sequential driver
+// would report them.
 func runCells(n, workers int, cell func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := cell(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if errs[i] = cell(i); errs[i] != nil {
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return sched.RunCells(n, workers, cell)
 }
 
 // mapCells runs cell over every element of cells on a runCells pool and
 // collects the results in cell order.
 func mapCells[C, R any](cells []C, workers int, cell func(i int, c C) (R, error)) ([]R, error) {
-	rows := make([]R, len(cells))
-	err := runCells(len(cells), workers, func(i int) error {
-		r, err := cell(i, cells[i])
-		if err != nil {
-			return err
-		}
-		rows[i] = r
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return sched.Map(cells, workers, cell)
 }
 
 // Fast returns options sized for tests and benches: large enough for

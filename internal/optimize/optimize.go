@@ -99,6 +99,16 @@ func ExactFrom(first analytic.Plan, c core.Costs, r core.Rates) (ExactPlan, erro
 	return exactFrom(ev, first)
 }
 
+// ExactWithEvaluator is ExactFrom on a caller-supplied evaluator, for
+// callers that keep a long-lived evaluator per configuration (e.g. the
+// planning service's per-shard evaluators). ev must be bound to the
+// same (costs, rates) the first-order plan was computed for; the
+// caller is responsible for serialising access to ev (an Evaluator is
+// not safe for concurrent use).
+func ExactWithEvaluator(ev *analytic.Evaluator, first analytic.Plan) (ExactPlan, error) {
+	return exactFrom(ev, first)
+}
+
 // exactFrom runs the integer (n, m) search on a shared evaluator.
 func exactFrom(ev *analytic.Evaluator, first analytic.Plan) (ExactPlan, error) {
 	k, c := first.Kind, ev.Costs()

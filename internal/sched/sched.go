@@ -1,0 +1,82 @@
+// Package sched provides the bounded fan-out discipline shared by the
+// experiment harness (campaign cells) and the planning service (batch
+// requests): n independent cells claimed in index order by at most
+// `workers` goroutines, each cell writing only its own output slot.
+//
+// The discipline guarantees two properties that both consumers rely on:
+//
+//  1. Determinism — because a cell's inputs derive from its index alone
+//     and it writes only its own slot, outputs are bit-identical for
+//     any worker count;
+//  2. Sequential error semantics — after a failure no new cells start,
+//     and because cells are claimed in index order the reported error
+//     is the one a sequential loop would have returned (every cell
+//     below the first failure was already claimed, so the
+//     lowest-indexed failing cell always records its error).
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RunCells evaluates the n cells with at most workers of them in
+// flight. workers <= 1 (or n <= 1) runs the cells sequentially in the
+// calling goroutine. cell(i) must write only its own output slot.
+func RunCells(n, workers int, cell func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := cell(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = cell(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs cell over every element of cells on a RunCells pool and
+// collects the results in cell order.
+func Map[C, R any](cells []C, workers int, cell func(i int, c C) (R, error)) ([]R, error) {
+	rows := make([]R, len(cells))
+	err := RunCells(len(cells), workers, func(i int) error {
+		r, err := cell(i, cells[i])
+		if err != nil {
+			return err
+		}
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func workerCounts() []int { return []int{0, 1, 2, 3, 16, runtime.GOMAXPROCS(0)} }
+
+// TestRunCellsRunsEveryCellOnce covers the pool bookkeeping for a
+// spread of worker counts, including workers > n.
+func TestRunCellsRunsEveryCellOnce(t *testing.T) {
+	for _, workers := range workerCounts() {
+		var hits [23]atomic.Int32
+		if err := RunCells(len(hits), workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Errorf("workers=%d: cell %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestRunCellsReportsFirstErrorInCellOrder: whichever cell fails first
+// in wall-clock time, the reported error is the lowest-indexed one,
+// matching a sequential loop.
+func TestRunCellsReportsFirstErrorInCellOrder(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range workerCounts() {
+		err := RunCells(8, workers, func(i int) error {
+			switch i {
+			case 2:
+				return errLow
+			case 6:
+				return errHigh
+			default:
+				return nil
+			}
+		})
+		if err != errLow {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+// TestRunCellsBoundsConcurrency asserts at most `workers` cells are in
+// flight simultaneously.
+func TestRunCellsBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	if err := RunCells(64, workers, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestMapCollectsInOrder: results land in their own slots regardless of
+// execution order.
+func TestMapCollectsInOrder(t *testing.T) {
+	in := make([]int, 50)
+	for i := range in {
+		in[i] = i
+	}
+	for _, workers := range workerCounts() {
+		out, err := Map(in, workers, func(i, c int) (int, error) { return c * c, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapError: a failing element aborts with its error and nil rows.
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	rows, err := Map([]int{0, 1, 2}, 2, func(i, c int) (int, error) {
+		if c == 1 {
+			return 0, boom
+		}
+		return c, nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if rows != nil {
+		t.Fatalf("rows = %v, want nil", rows)
+	}
+}

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"respat/internal/analytic"
+	"respat/internal/core"
+)
+
+// cache is the sharded LRU plan cache with singleflight request
+// coalescing. Values are fully marshalled JSON response bodies, so a
+// cache hit serves exactly the bytes a cold computation produced (the
+// cache is a pure memo; see DESIGN.md §3).
+//
+// Sharding serves two purposes: it splits the lock so unrelated
+// configurations do not contend, and it pins every configuration to one
+// shard (the key hash is deterministic), which lets each shard keep a
+// reusable *analytic.Evaluator warm for the configuration it last
+// served without violating the evaluator's not-concurrency-safe
+// contract.
+type cache struct {
+	shards []shard
+	mask   uint64 // len(shards) - 1; len is a power of two
+	m      *Metrics
+}
+
+// shard is one lock domain of the cache.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[Key]*list.Element // key -> element whose Value is *entry
+	lru      *list.List            // front = most recently used
+	capacity int                   // max entries; > 0
+	inflight map[Key]*flight
+
+	// evalMu serialises use of the shard's reusable evaluator.
+	// analytic.Evaluator is not safe for concurrent use; holding evalMu
+	// for the whole computation honours that contract while letting
+	// other shards compute in parallel.
+	evalMu    sync.Mutex
+	evalCosts core.Costs
+	evalRates core.Rates
+	eval      *analytic.Evaluator
+}
+
+// entry is one cached response.
+type entry struct {
+	key  Key
+	resp []byte
+}
+
+// flight is one in-progress computation that concurrent requests for
+// the same key coalesce onto.
+type flight struct {
+	wg   sync.WaitGroup
+	resp []byte
+	err  error
+}
+
+// newCache builds a cache with shardCount shards (rounded up to a power
+// of two) and capacity total entries spread evenly across shards.
+func newCache(shardCount, capacity int, m *Metrics) *cache {
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &cache{shards: make([]shard, n), mask: uint64(n - 1), m: m}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].lru = list.New()
+		c.shards[i].capacity = perShard
+		c.shards[i].inflight = make(map[Key]*flight)
+	}
+	return c
+}
+
+// shard returns the shard owning key.
+func (c *cache) shard(key Key) *shard {
+	return &c.shards[key.hash()&c.mask]
+}
+
+// len returns the total number of cached entries (for the metrics
+// endpoint; takes every shard lock in turn).
+func (c *cache) len() int {
+	var n int
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// get returns the cached response for key, refreshing its LRU position.
+// It is the allocation-free hot path: one map lookup plus a list splice.
+func (c *cache) get(key Key) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		resp := el.Value.(*entry).resp
+		s.mu.Unlock()
+		c.m.Hits.Add(1)
+		return resp, true
+	}
+	s.mu.Unlock()
+	return nil, false
+}
+
+// getOrCompute returns the cached response for key, coalescing
+// concurrent misses: among racing requests for the same key exactly one
+// runs compute; the rest wait for its result. A successful result is
+// inserted into the LRU before the waiters are released. The returned
+// bytes are shared and must be treated as read-only.
+func (c *cache) getOrCompute(key Key, compute func() ([]byte, error)) ([]byte, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		resp := el.Value.(*entry).resp
+		s.mu.Unlock()
+		c.m.Hits.Add(1)
+		return resp, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.m.Coalesced.Add(1)
+		f.wg.Wait()
+		return f.resp, f.err
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	s.inflight[key] = f
+	s.mu.Unlock()
+	c.m.Misses.Add(1)
+
+	f.resp, f.err = compute()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil {
+		c.m.Evictions.Add(int64(s.insertLocked(key, f.resp)))
+	}
+	s.mu.Unlock()
+	f.wg.Done()
+	return f.resp, f.err
+}
+
+// insertLocked adds a response under s.mu, evicting least recently used
+// entries while the shard is over capacity, and reports how many were
+// evicted.
+func (s *shard) insertLocked(key Key, resp []byte) int {
+	if el, ok := s.entries[key]; ok {
+		// Unreachable today (inflight serialises inserts per key) but
+		// kept so a future writer cannot corrupt the LRU by double
+		// insertion: refresh instead.
+		el.Value.(*entry).resp = resp
+		s.lru.MoveToFront(el)
+		return 0
+	}
+	s.entries[key] = s.lru.PushFront(&entry{key: key, resp: resp})
+	var evicted int
+	for s.lru.Len() > s.capacity {
+		tail := s.lru.Back()
+		s.lru.Remove(tail)
+		delete(s.entries, tail.Value.(*entry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// withEvaluator runs fn with the shard's reusable evaluator for
+// (costs, rates), rebuilding it only when the configuration changed
+// since the shard's last computation. The evaluator lock is held for
+// the duration of fn.
+func (s *shard) withEvaluator(costs core.Costs, rates core.Rates, fn func(*analytic.Evaluator) error) error {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	if s.eval == nil || s.evalCosts != costs || s.evalRates != rates {
+		ev, err := analytic.NewEvaluator(costs, rates)
+		if err != nil {
+			return err
+		}
+		s.eval, s.evalCosts, s.evalRates = ev, costs, rates
+	}
+	return fn(s.eval)
+}

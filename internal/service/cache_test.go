@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"respat/internal/core"
+)
+
+// testKey builds a synthetic key whose float fields derive from i, so
+// distinct i give distinct keys.
+func testKey(i int) Key {
+	c := core.Costs{DiskCkpt: float64(i + 1), Recall: 1}
+	return EncodeKey(ModePlan, core.PD, c, core.Rates{Silent: 1e-6})
+}
+
+// TestCoalescingComputesOnce gates the computation so every goroutine
+// arrives while it is in flight: exactly one computes, the rest
+// coalesce onto the same flight and observe identical bytes.
+func TestCoalescingComputesOnce(t *testing.T) {
+	var m Metrics
+	c := newCache(4, 64, &m)
+	key := testKey(1)
+
+	const goroutines = 16
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	arrived := make(chan struct{}, 1)
+
+	var wg sync.WaitGroup
+	results := make([][]byte, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp, err := c.getOrCompute(key, func() ([]byte, error) {
+				arrived <- struct{}{}
+				<-gate
+				computes.Add(1)
+				return []byte(`{"v":1}`), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = resp
+		}(g)
+	}
+	<-arrived // one goroutine holds the flight...
+	// Let every other goroutine reach the cache. They either coalesce
+	// or (if not yet scheduled) will hit the cache after insertion;
+	// both paths must return the same bytes. Release the gate once all
+	// requests are in flight or queued.
+	gate <- struct{}{}
+	close(gate)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	for g, r := range results {
+		if !bytes.Equal(r, results[0]) {
+			t.Fatalf("goroutine %d saw %q, others %q", g, r, results[0])
+		}
+	}
+	if m.Misses.Load() != 1 {
+		t.Fatalf("misses = %d, want 1", m.Misses.Load())
+	}
+	if got := m.Hits.Load() + m.Coalesced.Load(); got != goroutines-1 {
+		t.Fatalf("hits+coalesced = %d, want %d", got, goroutines-1)
+	}
+}
+
+// TestScatteredKeysComputeOncePerKey hammers a scattered key-set from
+// many goroutines: every unique key is computed exactly once.
+func TestScatteredKeysComputeOncePerKey(t *testing.T) {
+	var m Metrics
+	c := newCache(8, 4096, &m)
+	const keys = 64
+	const goroutines = 8
+
+	var computes [keys]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				i := (i + g) % keys // stagger start offsets per goroutine
+				_, err := c.getOrCompute(testKey(i), func() ([]byte, error) {
+					computes[i].Add(1)
+					return []byte(fmt.Sprintf(`{"v":%d}`, i)), nil
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for i := range computes {
+		if n := computes[i].Load(); n != 1 {
+			t.Errorf("key %d computed %d times, want 1", i, n)
+		}
+	}
+	if m.Misses.Load() != keys {
+		t.Errorf("misses = %d, want %d", m.Misses.Load(), keys)
+	}
+	if total := m.Hits.Load() + m.Misses.Load() + m.Coalesced.Load(); total != keys*goroutines {
+		t.Errorf("hits+misses+coalesced = %d, want %d", total, keys*goroutines)
+	}
+}
+
+// TestLRUEviction: a full shard evicts its least recently used entry,
+// bounded capacity holds, and an evicted key is recomputed on return.
+func TestLRUEviction(t *testing.T) {
+	var m Metrics
+	c := newCache(1, 4, &m) // one shard, capacity 4
+	var computes atomic.Int32
+	get := func(i int) {
+		t.Helper()
+		if _, err := c.getOrCompute(testKey(i), func() ([]byte, error) {
+			computes.Add(1)
+			return []byte(`{}`), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		get(i)
+	}
+	if n := c.len(); n != 4 {
+		t.Fatalf("cache holds %d entries, want 4", n)
+	}
+	if ev := m.Evictions.Load(); ev != 6 {
+		t.Fatalf("evictions = %d, want 6", ev)
+	}
+	// Keys 6-9 are resident; key 0 was evicted.
+	before := computes.Load()
+	get(9)
+	if computes.Load() != before {
+		t.Fatal("resident key was recomputed")
+	}
+	get(0)
+	if computes.Load() != before+1 {
+		t.Fatal("evicted key was not recomputed")
+	}
+	// Recency, not insertion order, decides the victim: touching key 7
+	// then inserting two fresh keys must keep 7 resident.
+	get(7)
+	get(100)
+	get(101)
+	before = computes.Load()
+	get(7)
+	if computes.Load() != before {
+		t.Fatal("recently used key was evicted")
+	}
+}
+
+// TestErrorsNotCached: a failed computation is not inserted; the next
+// request retries, and coalesced waiters observe the shared error.
+func TestErrorsNotCached(t *testing.T) {
+	var m Metrics
+	c := newCache(2, 16, &m)
+	key := testKey(3)
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	for i := 0; i < 3; i++ {
+		_, err := c.getOrCompute(key, func() ([]byte, error) {
+			calls.Add(1)
+			return nil, boom
+		})
+		if err != boom {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("failed computation ran %d times, want 3 (errors must not be cached)", n)
+	}
+	if c.len() != 0 {
+		t.Fatal("error was inserted into the cache")
+	}
+}

@@ -1,0 +1,299 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"respat/internal/core"
+	"respat/internal/platform"
+	"respat/internal/sched"
+)
+
+// Request body limits: generous for single-plan bodies, larger for
+// batches (which may carry thousands of items).
+const (
+	maxRequestBytes      = 1 << 20  // 1 MiB
+	maxBatchRequestBytes = 16 << 20 // 16 MiB
+	maxBatchItems        = 10000
+)
+
+// PlanRequest is the body of POST /v1/plan and /v1/plan/exact, and the
+// configuration half of evaluate/batch items. Exactly one of Platform
+// (a Table 2 name: Hera, Atlas, Coastal, Coastal-SSD) or the
+// Costs+Rates pair must be given. Costs and Rates marshal with their Go
+// field names (DiskCkpt, MemCkpt, ..., FailStop, Silent).
+type PlanRequest struct {
+	Kind     string      `json:"kind"`
+	Platform string      `json:"platform,omitempty"`
+	Costs    *core.Costs `json:"costs,omitempty"`
+	Rates    *core.Rates `json:"rates,omitempty"`
+}
+
+// EvaluateRequest is the body of POST /v1/evaluate: an explicit pattern
+// P(W, n, α, m, β) plus a platform or costs/rates configuration.
+type EvaluateRequest struct {
+	Pattern  *core.Pattern `json:"pattern"`
+	Platform string        `json:"platform,omitempty"`
+	Costs    *core.Costs   `json:"costs,omitempty"`
+	Rates    *core.Rates   `json:"rates,omitempty"`
+}
+
+// BatchItem is one operation of a POST /v1/batch body: Op selects the
+// endpoint ("plan", "plan/exact" or "evaluate"); the remaining fields
+// are that endpoint's request.
+type BatchItem struct {
+	Op       string        `json:"op"`
+	Kind     string        `json:"kind,omitempty"`
+	Platform string        `json:"platform,omitempty"`
+	Costs    *core.Costs   `json:"costs,omitempty"`
+	Rates    *core.Rates   `json:"rates,omitempty"`
+	Pattern  *core.Pattern `json:"pattern,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Requests []BatchItem `json:"requests"`
+}
+
+// BatchResponse carries one response per request, in request order:
+// either the operation's normal response body or {"error": "..."}.
+type BatchResponse struct {
+	Responses []json.RawMessage `json:"responses"`
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// resolveConfig turns the (platform | costs+rates) request half into a
+// concrete configuration.
+func resolveConfig(platName string, costs *core.Costs, rates *core.Rates) (core.Costs, core.Rates, error) {
+	if platName != "" {
+		if costs != nil || rates != nil {
+			return core.Costs{}, core.Rates{}, errors.New("give either platform or costs/rates, not both")
+		}
+		p, err := platform.ByName(platName)
+		if err != nil {
+			return core.Costs{}, core.Rates{}, err
+		}
+		return p.Costs, p.Rates, nil
+	}
+	if costs == nil || rates == nil {
+		return core.Costs{}, core.Rates{}, errors.New("need a platform name or both costs and rates")
+	}
+	return *costs, *rates, nil
+}
+
+// Handler returns the service's HTTP API.
+//
+//	POST /v1/plan        first-order Table 1 plan (cached)
+//	POST /v1/plan/exact  exact-model plan (cached)
+//	POST /v1/evaluate    exact expected time of a supplied pattern
+//	POST /v1/batch       many items fanned over a bounded worker pool
+//	GET  /healthz        liveness probe
+//	GET  /metrics        JSON counters and latency quantiles
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.instrument(epPlan, maxRequestBytes, s.handlePlan))
+	mux.HandleFunc("POST /v1/plan/exact", s.instrument(epPlanExact, maxRequestBytes, s.handlePlanExact))
+	mux.HandleFunc("POST /v1/evaluate", s.instrument(epEvaluate, maxRequestBytes, s.handleEvaluate))
+	mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, maxBatchRequestBytes, s.handleBatch))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len()))
+	})
+	return mux
+}
+
+// opHandler is one endpoint's body: it returns the response bytes or an
+// error with an HTTP status.
+type opHandler func(r *http.Request) ([]byte, int, error)
+
+// instrument wraps an endpoint with the in-flight gauge, the request
+// body limit, latency recording and the error envelope.
+func (s *Service) instrument(ep endpointID, maxBytes int64, h opHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.InFlight.Add(1)
+		start := time.Now()
+		failed := true
+		// Deferred so a handler panic (recovered by net/http) cannot
+		// leak the in-flight gauge or skip the latency observation.
+		defer func() {
+			s.metrics.InFlight.Add(-1)
+			s.metrics.observe(ep, float64(time.Since(start).Nanoseconds()), failed)
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+		body, status, err := h(r)
+		failed = err != nil
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		writeBytes(w, status, body)
+	}
+}
+
+func (s *Service) handlePlan(r *http.Request) ([]byte, int, error) {
+	kind, costs, rates, err := decodePlanRequest(r)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	body, err := s.Plan(kind, costs, rates)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return body, http.StatusOK, nil
+}
+
+func (s *Service) handlePlanExact(r *http.Request) ([]byte, int, error) {
+	kind, costs, rates, err := decodePlanRequest(r)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	body, err := s.PlanExact(kind, costs, rates)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return body, http.StatusOK, nil
+}
+
+func (s *Service) handleEvaluate(r *http.Request) ([]byte, int, error) {
+	var req EvaluateRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if req.Pattern == nil {
+		return nil, http.StatusBadRequest, errors.New("missing pattern")
+	}
+	costs, rates, err := resolveConfig(req.Platform, req.Costs, req.Rates)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	body, err := s.Evaluate(*req.Pattern, costs, rates)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return body, http.StatusOK, nil
+}
+
+func (s *Service) handleBatch(r *http.Request) ([]byte, int, error) {
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if len(req.Requests) > maxBatchItems {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("batch of %d items exceeds the limit of %d", len(req.Requests), maxBatchItems)
+	}
+	// Fan the items over the bounded pool of internal/sched — the same
+	// discipline the experiment harness uses for campaign cells: items
+	// are claimed in index order and each writes only its own slot.
+	// Item errors become per-item {"error": ...} entries, so the cell
+	// function itself never fails.
+	responses, _ := sched.Map(req.Requests, s.cfg.BatchWorkers,
+		func(i int, item BatchItem) (json.RawMessage, error) {
+			return s.batchItem(item), nil
+		})
+	body, err := marshalResponse(BatchResponse{Responses: responses})
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	return body, http.StatusOK, nil
+}
+
+// batchItem executes one batch operation, folding its error (if any)
+// into the response entry.
+func (s *Service) batchItem(item BatchItem) json.RawMessage {
+	body, err := func() ([]byte, error) {
+		switch item.Op {
+		case "plan", "plan/exact":
+			kind, err := core.ParseKind(item.Kind)
+			if err != nil {
+				return nil, err
+			}
+			costs, rates, err := resolveConfig(item.Platform, item.Costs, item.Rates)
+			if err != nil {
+				return nil, err
+			}
+			if item.Op == "plan" {
+				return s.Plan(kind, costs, rates)
+			}
+			return s.PlanExact(kind, costs, rates)
+		case "evaluate":
+			if item.Pattern == nil {
+				return nil, errors.New("missing pattern")
+			}
+			costs, rates, err := resolveConfig(item.Platform, item.Costs, item.Rates)
+			if err != nil {
+				return nil, err
+			}
+			return s.Evaluate(*item.Pattern, costs, rates)
+		default:
+			return nil, fmt.Errorf("unknown op %q (plan, plan/exact, evaluate)", item.Op)
+		}
+	}()
+	if err != nil {
+		// Marshalling a flat string-field struct cannot fail.
+		b, _ := json.Marshal(errorBody{Error: err.Error()})
+		return b
+	}
+	return body
+}
+
+// decodePlanRequest parses and resolves the shared plan request body.
+func decodePlanRequest(r *http.Request) (core.Kind, core.Costs, core.Rates, error) {
+	var req PlanRequest
+	if err := decodeBody(r, &req); err != nil {
+		return 0, core.Costs{}, core.Rates{}, err
+	}
+	kind, err := core.ParseKind(req.Kind)
+	if err != nil {
+		return 0, core.Costs{}, core.Rates{}, err
+	}
+	costs, rates, err := resolveConfig(req.Platform, req.Costs, req.Rates)
+	if err != nil {
+		return 0, core.Costs{}, core.Rates{}, err
+	}
+	return kind, costs, rates, nil
+}
+
+// decodeBody strictly decodes one JSON body: unknown fields and
+// trailing garbage are errors, so client typos fail loudly instead of
+// silently planning defaults.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	writeBytes(w, status, b)
+}
+
+func writeBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"encoding/binary"
+	"math"
+
+	"respat/internal/core"
+)
+
+// Mode distinguishes the cacheable operations sharing the plan cache.
+// It is the first byte of every cache key, so first-order and
+// exact-model plans for the same configuration never collide.
+type Mode byte
+
+// The service operations. ModeEvaluate never enters the cache (its
+// input includes an arbitrary pattern); its keys are used only to route
+// a request to a shard, so evaluator reuse still applies.
+const (
+	ModePlan Mode = iota
+	ModePlanExact
+	ModeEvaluate
+)
+
+// String names the mode as it appears in the HTTP API.
+func (m Mode) String() string {
+	switch m {
+	case ModePlan:
+		return "plan"
+	case ModePlanExact:
+		return "plan_exact"
+	case ModeEvaluate:
+		return "evaluate"
+	default:
+		return "unknown"
+	}
+}
+
+// KeySize is the byte length of a cache key: one mode byte, one family
+// byte, then the nine float64 parameters of (Costs, Rates) as fixed
+// 8-byte fields.
+const KeySize = 2 + 9*8
+
+// Key is the canonical cache key of a (mode, family, Costs, Rates)
+// configuration. It is a fixed-size value type, so it can be a map key
+// and built on the stack without allocating.
+//
+// Canonical encoding contract: every float64 is stored as the
+// big-endian bytes of its IEEE-754 bit pattern — a fixed-width binary
+// field, never a formatted decimal — after normalising negative zero
+// to positive zero. Equal (Mode, Kind, Costs, Rates) values therefore
+// always produce identical key bytes, and any change to any field
+// changes the key (the encoding is injective on the validated domain:
+// validation rejects NaNs, so the only two bit patterns comparing equal
+// are ±0, which the normalisation merges).
+type Key [KeySize]byte
+
+// EncodeKey builds the canonical key of (mode, kind, costs, rates).
+// Callers must ensure kind.Valid() (the kind is truncated to one byte)
+// and validate costs and rates; EncodeKey itself never fails.
+func EncodeKey(mode Mode, kind core.Kind, c core.Costs, r core.Rates) Key {
+	var k Key
+	k[0] = byte(mode)
+	k[1] = byte(kind)
+	fields := [9]float64{
+		c.DiskCkpt, c.MemCkpt, c.DiskRec, c.MemRec,
+		c.GuarVer, c.PartVer, c.Recall,
+		r.FailStop, r.Silent,
+	}
+	for i, f := range fields {
+		if f == 0 {
+			f = 0 // normalise -0.0 to +0.0
+		}
+		binary.BigEndian.PutUint64(k[2+8*i:], math.Float64bits(f))
+	}
+	return k
+}
+
+// hash returns the FNV-1a 64-bit hash of the key bytes, used to select
+// a cache shard. It is deterministic across processes and allocates
+// nothing.
+func (k Key) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range k {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

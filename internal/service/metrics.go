@@ -1,0 +1,147 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"respat/internal/stats"
+)
+
+// latencyWindow is the number of recent observations each endpoint's
+// latency reservoir retains for quantile estimation. A fixed ring keeps
+// recording allocation-free.
+const latencyWindow = 4096
+
+// Metrics aggregates the service counters surfaced by GET /metrics.
+// Counters are atomics so the request hot path never takes a lock for
+// them; latency recording takes one short per-endpoint mutex.
+type Metrics struct {
+	// Cache outcome counters. A request for a cacheable operation
+	// increments exactly one of the three: Hits (served from the LRU),
+	// Misses (this request ran the computation) or Coalesced (attached
+	// to another request's in-flight computation). Computations
+	// performed therefore equal Misses.
+	Hits      atomic.Int64
+	Misses    atomic.Int64
+	Coalesced atomic.Int64
+	// Evictions counts LRU entries displaced by inserts into full
+	// shards.
+	Evictions atomic.Int64
+	// InFlight is the number of HTTP requests currently being served.
+	InFlight atomic.Int64
+
+	endpoints [4]endpointMetrics // indexed by endpointID
+}
+
+// endpointID indexes the per-endpoint metrics.
+type endpointID int
+
+const (
+	epPlan endpointID = iota
+	epPlanExact
+	epEvaluate
+	epBatch
+)
+
+func (e endpointID) String() string {
+	switch e {
+	case epPlan:
+		return "plan"
+	case epPlanExact:
+		return "plan_exact"
+	case epEvaluate:
+		return "evaluate"
+	case epBatch:
+		return "batch"
+	default:
+		return "unknown"
+	}
+}
+
+// endpointMetrics tracks one endpoint's request count, error count and
+// a ring of recent latencies.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+
+	mu     sync.Mutex
+	ring   [latencyWindow]float64 // nanoseconds
+	filled int                    // observations recorded, capped at latencyWindow
+	next   int                    // ring write cursor
+}
+
+// observe records one request outcome with its latency in nanoseconds.
+func (m *Metrics) observe(ep endpointID, latencyNS float64, failed bool) {
+	e := &m.endpoints[ep]
+	e.requests.Add(1)
+	if failed {
+		e.errors.Add(1)
+	}
+	e.mu.Lock()
+	e.ring[e.next] = latencyNS
+	e.next = (e.next + 1) % latencyWindow
+	if e.filled < latencyWindow {
+		e.filled++
+	}
+	e.mu.Unlock()
+}
+
+// LatencyQuantiles summarises an endpoint's recent latencies.
+type LatencyQuantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ns"`
+	P90   float64 `json:"p90_ns"`
+	P99   float64 `json:"p99_ns"`
+}
+
+// EndpointSnapshot is one endpoint's row in the metrics report.
+type EndpointSnapshot struct {
+	Requests int64            `json:"requests"`
+	Errors   int64            `json:"errors"`
+	Latency  LatencyQuantiles `json:"latency"`
+}
+
+// Snapshot is the JSON document served by GET /metrics.
+type Snapshot struct {
+	CacheHits    int64                       `json:"cacheHits"`
+	CacheMisses  int64                       `json:"cacheMisses"`
+	Coalesced    int64                       `json:"coalesced"`
+	Evictions    int64                       `json:"evictions"`
+	CacheEntries int                         `json:"cacheEntries"`
+	InFlight     int64                       `json:"inFlight"`
+	Endpoints    map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// snapshot captures the current counters. cacheEntries is supplied by
+// the service (it owns the cache).
+func (m *Metrics) snapshot(cacheEntries int) Snapshot {
+	out := Snapshot{
+		CacheHits:    m.Hits.Load(),
+		CacheMisses:  m.Misses.Load(),
+		Coalesced:    m.Coalesced.Load(),
+		Evictions:    m.Evictions.Load(),
+		CacheEntries: cacheEntries,
+		InFlight:     m.InFlight.Load(),
+		Endpoints:    make(map[string]EndpointSnapshot, len(m.endpoints)),
+	}
+	for id := range m.endpoints {
+		e := &m.endpoints[id]
+		e.mu.Lock()
+		window := append([]float64(nil), e.ring[:e.filled]...)
+		e.mu.Unlock()
+		snap := EndpointSnapshot{
+			Requests: e.requests.Load(),
+			Errors:   e.errors.Load(),
+		}
+		snap.Latency.Count = int64(len(window))
+		if len(window) > 0 {
+			// stats.Quantile only fails on empty data or q outside
+			// [0,1], both excluded here.
+			snap.Latency.P50, _ = stats.Quantile(window, 0.50)
+			snap.Latency.P90, _ = stats.Quantile(window, 0.90)
+			snap.Latency.P99, _ = stats.Quantile(window, 0.99)
+		}
+		out.Endpoints[endpointID(id).String()] = snap
+	}
+	return out
+}

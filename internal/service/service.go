@@ -1,0 +1,212 @@
+// Package service is the online planning layer of respat: a
+// high-throughput, concurrency-safe front end over the Table 1 planner
+// (analytic.Optimal), the exact-model planner (optimize.Exact) and the
+// exact expected-time evaluator (analytic.Evaluator), designed to serve
+// plan lookups at high request rates.
+//
+// Three mechanisms make the hot path cheap:
+//
+//   - a sharded LRU cache of fully marshalled responses, keyed by a
+//     canonical fixed-width binary encoding of (family, Costs, Rates)
+//     (see Key) — a hit is one map lookup plus an LRU splice, with no
+//     allocation and no float formatting;
+//   - singleflight request coalescing — concurrent misses on the same
+//     key run the computation once and share the result;
+//   - per-shard evaluator reuse — a shard serves every request of the
+//     configurations hashing to it, so it keeps one
+//     *analytic.Evaluator warm under a shard-local lock, honouring the
+//     evaluator's not-concurrency-safe contract.
+//
+// The cache is a pure memo: a cached response is byte-identical to what
+// a cold computation would produce (asserted by tests; see DESIGN.md
+// §3). Batch requests fan out over the bounded worker discipline of
+// internal/sched, the same scheduler the experiment harness uses for
+// campaign cells.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"respat/internal/analytic"
+	"respat/internal/core"
+	"respat/internal/optimize"
+)
+
+// Config sizes a Service.
+type Config struct {
+	// Shards is the number of cache shards (rounded up to a power of
+	// two; default 16). More shards mean less lock contention and more
+	// evaluators kept warm.
+	Shards int
+	// Capacity is the total number of cached plans across all shards
+	// (default 4096).
+	Capacity int
+	// BatchWorkers bounds how many items of one POST /v1/batch body are
+	// processed concurrently (default GOMAXPROCS).
+	BatchWorkers int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Service plans, evaluates and compares resilience patterns behind the
+// plan cache. All methods are safe for concurrent use.
+type Service struct {
+	cfg     Config
+	cache   *cache
+	metrics Metrics
+}
+
+// New builds a Service. The zero Config is valid and gets defaults.
+func New(cfg Config) *Service {
+	s := &Service{cfg: cfg.withDefaults()}
+	s.cache = newCache(s.cfg.Shards, s.cfg.Capacity, &s.metrics)
+	return s
+}
+
+// Metrics exposes the service counters (live; callers read atomics or
+// take a Snapshot via the /metrics endpoint).
+func (s *Service) Metrics() *Metrics { return &s.metrics }
+
+// PlanResponse is the body served for /v1/plan and /v1/plan/exact.
+type PlanResponse struct {
+	Kind  string `json:"kind"`
+	Exact bool   `json:"exact"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	// W is the optimal pattern length in seconds.
+	W float64 `json:"w"`
+	// Overhead is the expected overhead H at the optimum: first-order
+	// 2·sqrt(oef·orw) for plan, exact E(P)/W - 1 for plan/exact.
+	Overhead float64 `json:"overhead"`
+}
+
+// EvaluateResponse is the body served for /v1/evaluate.
+type EvaluateResponse struct {
+	// ExpectedTime is the exact expected execution time E(P) in seconds.
+	ExpectedTime float64 `json:"expectedTime"`
+	// Overhead is E(P)/W - 1.
+	Overhead float64 `json:"overhead"`
+}
+
+// Plan returns the marshalled first-order Table 1 plan of family kind
+// for (costs, rates), serving from the cache when possible. The
+// returned bytes are shared with the cache and must not be mutated.
+func (s *Service) Plan(kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
+	if !kind.Valid() {
+		return nil, fmt.Errorf("service: invalid pattern kind %d", int(kind))
+	}
+	key := EncodeKey(ModePlan, kind, costs, rates)
+	if resp, ok := s.cache.get(key); ok {
+		return resp, nil
+	}
+	return s.planCold(key, kind, costs, rates)
+}
+
+// planCold is the miss path of Plan, split out so the hot path does not
+// pay for the compute closure.
+func (s *Service) planCold(key Key, kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
+	return s.cache.getOrCompute(key, func() ([]byte, error) {
+		plan, err := analytic.Optimal(kind, costs, rates)
+		if err != nil {
+			return nil, err
+		}
+		return marshalResponse(PlanResponse{
+			Kind:     plan.Kind.String(),
+			N:        plan.N,
+			M:        plan.M,
+			W:        plan.W,
+			Overhead: plan.Overhead,
+		})
+	})
+}
+
+// PlanExact returns the marshalled exact-model plan (renewal-equation
+// optimum, no first-order truncation), cached like Plan. The exact
+// search reuses the owning shard's evaluator.
+func (s *Service) PlanExact(kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
+	if !kind.Valid() {
+		return nil, fmt.Errorf("service: invalid pattern kind %d", int(kind))
+	}
+	key := EncodeKey(ModePlanExact, kind, costs, rates)
+	if resp, ok := s.cache.get(key); ok {
+		return resp, nil
+	}
+	return s.planExactCold(key, kind, costs, rates)
+}
+
+func (s *Service) planExactCold(key Key, kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
+	sh := s.cache.shard(key)
+	return s.cache.getOrCompute(key, func() ([]byte, error) {
+		first, err := analytic.Optimal(kind, costs, rates)
+		if err != nil {
+			return nil, err
+		}
+		var plan optimize.ExactPlan
+		err = sh.withEvaluator(costs, rates, func(ev *analytic.Evaluator) error {
+			var err error
+			plan, err = optimize.ExactWithEvaluator(ev, first)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return marshalResponse(PlanResponse{
+			Kind:     plan.Kind.String(),
+			Exact:    true,
+			N:        plan.N,
+			M:        plan.M,
+			W:        plan.W,
+			Overhead: plan.Overhead,
+		})
+	})
+}
+
+// Evaluate returns the marshalled exact expected time of a
+// caller-supplied pattern. Arbitrary patterns are not cached (their
+// identity is not covered by the (family, Costs, Rates) key), but the
+// computation still reuses the evaluator of the shard owning the
+// (costs, rates) configuration.
+func (s *Service) Evaluate(p core.Pattern, costs core.Costs, rates core.Rates) ([]byte, error) {
+	if err := costs.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rates.Validate(); err != nil {
+		return nil, err
+	}
+	sh := s.cache.shard(EncodeKey(ModeEvaluate, 0, costs, rates))
+	var t float64
+	err := sh.withEvaluator(costs, rates, func(ev *analytic.Evaluator) error {
+		var err error
+		t, err = ev.ExpectedTime(p)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return marshalResponse(EvaluateResponse{ExpectedTime: t, Overhead: t/p.W - 1})
+}
+
+// marshalResponse marshals a response body. encoding/json is
+// deterministic for struct values, which is what makes the cached
+// bytes byte-identical to a cold computation's.
+func marshalResponse(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("service: marshal response: %w", err)
+	}
+	return b, nil
+}

@@ -32,6 +32,7 @@ import (
 	"respat/internal/engine"
 	"respat/internal/optimize"
 	"respat/internal/platform"
+	"respat/internal/service"
 	"respat/internal/sim"
 )
 
@@ -143,6 +144,22 @@ type (
 // Protect executes a real application under a pattern with two-level
 // checkpointing, verification and recovery.
 func Protect(cfg EngineConfig) (EngineReport, error) { return engine.Run(cfg) }
+
+// Service re-exports: the online planning layer behind cmd/respatd,
+// exposed so applications can embed the planning API in their own HTTP
+// servers (mount Service.Handler() under a route of choice).
+type (
+	// Service plans, evaluates and compares patterns behind a sharded
+	// LRU plan cache with request coalescing; safe for concurrent use.
+	Service = service.Service
+	// ServiceConfig sizes the service (cache shards and capacity,
+	// batch-request parallelism). The zero value gets sane defaults.
+	ServiceConfig = service.Config
+)
+
+// NewService builds a planning service. Service.Handler() returns its
+// HTTP API (see cmd/respatd for the endpoint list).
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // Platforms returns the four Table 2 platforms (Hera, Atlas, Coastal,
 // Coastal-SSD) with the paper's simulation default costs.
