@@ -8,14 +8,18 @@
 //	respatd -addr :8080
 //	respatd -addr :8080 -shards 32 -cache-capacity 65536 -batch-workers 8
 //
-// Endpoints:
+// Endpoints (full reference with schemas: docs/api.md):
 //
-//	POST /v1/plan        {"kind":"PDMV","platform":"Hera"}
-//	POST /v1/plan/exact  same body; exact renewal-equation optimum
-//	POST /v1/evaluate    {"pattern":{...},"platform":"Hera"}
-//	POST /v1/batch       {"requests":[{"op":"plan",...},...]}
-//	GET  /healthz        liveness
-//	GET  /metrics        cache counters + latency quantiles (JSON)
+//	POST   /v1/plan        {"kind":"PDMV","platform":"Hera"}
+//	POST   /v1/plan/exact  same body; exact renewal-equation optimum
+//	POST   /v1/evaluate    {"pattern":{...},"platform":"Hera"}
+//	POST   /v1/batch       {"requests":[{"op":"plan",...},...]}
+//	POST   /v1/observe     {"session":"s1","kind":"PDMV","platform":"Hera",
+//	                        "failstop":{"events":2,"exposure":86400}, ...}
+//	GET    /v1/adaptive    ?session=s1 — fitted rates, counters, current plan
+//	DELETE /v1/adaptive    ?session=s1 — drop the session
+//	GET    /healthz        liveness
+//	GET    /metrics        cache counters + latency quantiles (JSON)
 //
 // Parallelism flags follow the repo-wide convention (see DESIGN.md
 // §2.3): -batch-workers bounds fan-out across independent work items
@@ -48,17 +52,18 @@ func main() {
 		shards       = flag.Int("shards", 16, "plan-cache shards (rounded up to a power of two)")
 		capacity     = flag.Int("cache-capacity", 4096, "total cached plans across all shards")
 		batchWorkers = flag.Int("batch-workers", runtime.GOMAXPROCS(0), "concurrent items per /v1/batch request (0 = GOMAXPROCS)")
+		maxSessions  = flag.Int("max-sessions", 1024, "cap on live adaptive sessions (/v1/observe)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
 		quiet        = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
-	if err := run(*addr, *shards, *capacity, *batchWorkers, *drainTimeout, *quiet); err != nil {
+	if err := run(*addr, *shards, *capacity, *batchWorkers, *maxSessions, *drainTimeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "respatd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, capacity, batchWorkers int, drainTimeout time.Duration, quiet bool) error {
+func run(addr string, shards, capacity, batchWorkers, maxSessions int, drainTimeout time.Duration, quiet bool) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -68,9 +73,10 @@ func run(addr string, shards, capacity, batchWorkers int, drainTimeout time.Dura
 		Shards:       shards,
 		Capacity:     capacity,
 		BatchWorkers: batchWorkers,
+		MaxSessions:  maxSessions,
 	})
-	logger.Printf("listening on %s (shards=%d capacity=%d batch-workers=%d)",
-		ln.Addr(), shards, capacity, batchWorkers)
+	logger.Printf("listening on %s (shards=%d capacity=%d batch-workers=%d max-sessions=%d)",
+		ln.Addr(), shards, capacity, batchWorkers, maxSessions)
 	return serve(ln, svc, logger, drainTimeout, quiet)
 }
 

@@ -58,6 +58,34 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("bad plan body: %s", body)
 	}
 
+	// Adaptive session round-trip: create via observe, read back.
+	r, err = http.Post(base+"/v1/observe", "application/json",
+		strings.NewReader(`{"session":"e2e","kind":"PDMV","platform":"Hera","failstop":{"events":1,"exposure":1e6}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("observe status %d: %s", r.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/v1/adaptive?session=e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adaptive status %d: %s", resp.StatusCode, body)
+	}
+	var ar struct {
+		Kind         string `json:"kind"`
+		Observations int64  `json:"observations"`
+	}
+	if err := json.Unmarshal(body, &ar); err != nil || ar.Kind != "PDMV" || ar.Observations != 1 {
+		t.Fatalf("bad adaptive body: %s", body)
+	}
+
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +120,7 @@ func TestRequestLog(t *testing.T) {
 
 // TestRunBadAddr: an unbindable address fails fast instead of serving.
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.256.256.256:99999", 1, 1, 1, time.Second, true); err == nil {
+	if err := run("256.256.256.256:99999", 1, 1, 1, 1, time.Second, true); err == nil {
 		t.Fatal("expected bind error")
 	}
 }

@@ -1,0 +1,252 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"respat/internal/analytic"
+	"respat/internal/core"
+	"respat/internal/faultfit"
+)
+
+func testCosts() core.Costs {
+	return core.Costs{
+		DiskCkpt: 30, MemCkpt: 3, DiskRec: 30, MemRec: 3,
+		GuarVer: 1.5, PartVer: 0.3, Recall: 0.8,
+	}
+}
+
+func TestSessionInitialPlanMatchesOptimalAtPrior(t *testing.T) {
+	costs := testCosts()
+	prior := core.Rates{FailStop: 2e-5, Silent: 5e-5}
+	s, err := NewSession(Config{Kind: core.PDMV, Costs: costs, Prior: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := analytic.Optimal(core.PDMV, costs, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Plan()
+	if got.N != want.N || got.M != want.M || got.W != want.W || got.Overhead != want.Overhead {
+		t.Fatalf("initial plan %+v != Optimal at prior %+v", got, want)
+	}
+	if r := s.Rates(); r != prior {
+		t.Fatalf("initial fitted rates %+v != prior %+v", r, prior)
+	}
+}
+
+func TestSessionStableWhenObservationsMatchPrior(t *testing.T) {
+	costs := testCosts()
+	prior := core.Rates{FailStop: 2e-5, Silent: 5e-5}
+	s, err := NewSession(Config{Kind: core.PDMV, Costs: costs, Prior: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observations exactly at the prior rates: expected events per
+	// window of exposure.
+	const exposure = 50_000.0
+	for i := 0; i < 40; i++ {
+		d, err := s.Observe(Observation{
+			FailStopEvents: 1, FailStopExposure: exposure,
+			SilentEvents: 2, SilentExposure: exposure, // ~ 2e-5, 4e-5
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Replanned {
+			t.Fatalf("observation %d at prior-consistent rates triggered a re-plan (regret %v)", i, d.Regret)
+		}
+	}
+	st := s.Status()
+	if st.Swaps != 0 {
+		t.Fatalf("swaps = %d, want 0", st.Swaps)
+	}
+}
+
+func TestSessionReplansWhenRatesShift(t *testing.T) {
+	costs := testCosts()
+	prior := core.Rates{FailStop: 2e-5, Silent: 5e-5}
+	s, err := NewSession(Config{
+		Kind: core.PDMV, Costs: costs, Prior: prior,
+		FailStop: faultfit.OnlineConfig{Window: 8},
+		Silent:   faultfit.OnlineConfig{Window: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True rates 25x the prior: ~1 fail-stop and ~2.5 silent events per
+	// 2000 s of exposure.
+	var last Decision
+	replannedAt := -1
+	for i := 0; i < 60; i++ {
+		d, err := s.Observe(Observation{
+			FailStopEvents: 1, FailStopExposure: 2000,
+			SilentEvents: 2, SilentExposure: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Replanned && replannedAt < 0 {
+			replannedAt = i
+		}
+		last = d
+	}
+	if replannedAt < 0 {
+		t.Fatalf("no re-plan after 60 shifted observations; final rates %+v, regret %v",
+			last.Rates, last.Regret)
+	}
+	st := s.Status()
+	if st.Swaps < 1 {
+		t.Fatalf("swaps = %d, want >= 1", st.Swaps)
+	}
+	if st.PredictedSavings <= 0 {
+		t.Fatalf("predicted savings = %v, want > 0", st.PredictedSavings)
+	}
+	// The post-swap plan must be substantially shorter than the plan
+	// sized for the (25x lower) prior rates.
+	first, err := analytic.Optimal(core.PDMV, costs, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Plan(); got.W >= first.W {
+		t.Fatalf("post-swap W %v not shorter than the prior-rates W %v", got.W, first.W)
+	}
+	// Fitted rates must have moved decisively towards the truth.
+	if st.Rates.FailStop < 5*prior.FailStop {
+		t.Fatalf("fitted fail-stop rate %v barely moved from prior %v", st.Rates.FailStop, prior.FailStop)
+	}
+}
+
+func TestSessionCensoredObservationsStayFinite(t *testing.T) {
+	costs := testCosts()
+	prior := core.Rates{FailStop: 1e-5, Silent: 2e-5}
+	s, err := NewSession(Config{Kind: core.PDMV, Costs: costs, Prior: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long stretch of event-free windows: rates must stay positive and
+	// finite, and every decision must carry a valid plan.
+	for i := 0; i < 100; i++ {
+		d, err := s.Observe(Observation{FailStopExposure: 10_000, SilentExposure: 10_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []float64{d.Rates.FailStop, d.Rates.Silent, d.Plan.W, d.CurrentOverhead} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("observation %d produced non-finite value %v (decision %+v)", i, v, d)
+			}
+		}
+		if d.Rates.FailStop <= 0 || d.Rates.Silent <= 0 {
+			t.Fatalf("observation %d collapsed a rate to zero: %+v", i, d.Rates)
+		}
+		if err := d.Plan.Pattern.Validate(); err != nil {
+			t.Fatalf("observation %d produced invalid plan: %v", i, err)
+		}
+	}
+}
+
+func TestSessionMinObservationsGate(t *testing.T) {
+	costs := testCosts()
+	prior := core.Rates{FailStop: 2e-5, Silent: 5e-5}
+	s, err := NewSession(Config{
+		Kind: core.PDMV, Costs: costs, Prior: prior,
+		MinObservations: 10,
+		FailStop:        faultfit.OnlineConfig{Window: 2},
+		Silent:          faultfit.OnlineConfig{Window: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		d, err := s.Observe(Observation{
+			FailStopEvents: 5, FailStopExposure: 1000,
+			SilentEvents: 10, SilentExposure: 1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Replanned {
+			t.Fatalf("re-planned at observation %d, before MinObservations=10", i+1)
+		}
+	}
+}
+
+func TestSessionRejectedObservationLeavesStateUntouched(t *testing.T) {
+	costs := testCosts()
+	prior := core.Rates{FailStop: 2e-5, Silent: 5e-5}
+	s, err := NewSession(Config{Kind: core.PDMV, Costs: costs, Prior: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid fail-stop half, invalid silent half: the whole observation
+	// must be rejected without ingesting the fail-stop window.
+	if _, err := s.Observe(Observation{
+		FailStopEvents: 2, FailStopExposure: 100,
+		SilentEvents: 1, SilentExposure: -1,
+	}); err == nil {
+		t.Fatal("negative silent exposure accepted")
+	}
+	if r := s.Rates(); r != prior {
+		t.Fatalf("rejected observation moved the fitted rates: %+v != prior %+v", r, prior)
+	}
+	if st := s.Status(); st.Observations != 0 {
+		t.Fatalf("rejected observation counted: %d", st.Observations)
+	}
+}
+
+func TestSessionEmptyObservationsDoNotSatisfyMinObservations(t *testing.T) {
+	costs := testCosts()
+	prior := core.Rates{FailStop: 2e-5, Silent: 5e-5}
+	s, err := NewSession(Config{
+		Kind: core.PDMV, Costs: costs, Prior: prior,
+		MinObservations: 2,
+		FailStop:        faultfit.OnlineConfig{Window: 2},
+		Silent:          faultfit.OnlineConfig{Window: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty observations (session polls) must not count towards the
+	// swap gate.
+	for i := 0; i < 5; i++ {
+		if _, err := s.Observe(Observation{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Status(); st.Observations != 0 {
+		t.Fatalf("empty observations counted: %d", st.Observations)
+	}
+	// The first real (heavy) window alone must still be gated.
+	d, err := s.Observe(Observation{
+		FailStopEvents: 5, FailStopExposure: 1000,
+		SilentEvents: 10, SilentExposure: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Replanned {
+		t.Fatal("swap fired on the first non-empty observation despite MinObservations=2")
+	}
+}
+
+func TestNewSessionRejectsDegeneratePrior(t *testing.T) {
+	if _, err := NewSession(Config{Kind: core.PD, Costs: testCosts()}); err == nil {
+		t.Fatal("zero prior rates must fail (no finite optimal plan)")
+	}
+}
+
+func TestNewSessionRejectsNegativeTuning(t *testing.T) {
+	costs := testCosts()
+	prior := core.Rates{FailStop: 2e-5, Silent: 5e-5}
+	if _, err := NewSession(Config{
+		Kind: core.PDMV, Costs: costs, Prior: prior, MinObservations: -1,
+	}); err == nil {
+		t.Fatal("negative MinObservations accepted")
+	}
+	if _, err := NewSession(Config{
+		Kind: core.PDMV, Costs: costs, Prior: prior, RegretThreshold: -0.1,
+	}); err == nil {
+		t.Fatal("negative RegretThreshold accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package adapt
+
+import (
+	"respat/internal/core"
+	"respat/internal/engine"
+)
+
+// Controller feeds an engine run's per-pattern telemetry into a
+// Session and turns its re-plan decisions into pattern swaps. Wire
+// Controller.Boundary into engine.Config.Boundary:
+//
+//	sess, _ := adapt.NewSession(adapt.Config{...})
+//	ctl := adapt.NewController(sess)
+//	rep, _ := engine.Run(engine.Config{
+//		Pattern:  sess.Plan().Pattern,
+//		Boundary: ctl.Boundary,
+//		...
+//	})
+//
+// At every pattern boundary the controller diffs the report against
+// the previous boundary — event counts and exposure seconds per error
+// source — and submits the delta as one observation. A Controller
+// belongs to exactly one engine run (it keeps that run's last
+// snapshot); it is not safe for concurrent use.
+type Controller struct {
+	s    *Session
+	last engine.Report
+}
+
+// NewController binds a controller to a session.
+func NewController(s *Session) *Controller { return &Controller{s: s} }
+
+// Boundary is the engine.Config.Boundary hook: it observes the pattern
+// just completed and returns the new pattern when the session decides
+// to re-plan, nil to keep the incumbent.
+func (c *Controller) Boundary(done int, rep engine.Report) (*core.Pattern, error) {
+	obs := Observation{
+		FailStopEvents:   rep.FailStop - c.last.FailStop,
+		SilentEvents:     rep.Silent - c.last.Silent,
+		FailStopExposure: rep.FailStopExposure - c.last.FailStopExposure,
+		SilentExposure:   rep.SilentExposure - c.last.SilentExposure,
+	}
+	c.last = rep
+	d, err := c.s.Observe(obs)
+	if err != nil {
+		return nil, err
+	}
+	if !d.Replanned {
+		return nil, nil
+	}
+	p := d.Plan.Pattern
+	return &p, nil
+}

@@ -1,0 +1,29 @@
+// Package adapt closes the observe → fit → re-plan loop of the
+// resilience-pattern system. The paper's optimal patterns
+// P(W, n, α, m, β) assume error rates that are known up front and
+// fixed forever; real platforms drift. This package makes the plan a
+// feedback-controlled quantity:
+//
+//   - observe: ingest censored interval observations — "k fail-stop
+//     and j silent events over t seconds of exposure" — from a running
+//     engine (Controller wires into engine.Config.Boundary) or any
+//     other telemetry source;
+//   - fit: maintain online posterior rate estimates per error source
+//     (faultfit.OnlineRate: prior-anchored, exponentially forgetting,
+//     with a change-point detector that discards stale history when
+//     the recent window contradicts it);
+//   - re-plan: evaluate the current plan's exact expected overhead
+//     under the fitted rates (analytic.Evaluator) against the overhead
+//     of the plan that is optimal at those rates, and swap plans when
+//     the regret exceeds a configurable threshold.
+//
+// Sessions are deterministic: fitted rates and re-plan decisions are
+// pure functions of the observation stream, so an adaptive engine run
+// under seeded fault sources is bit-identical across repeats — the
+// drift-scenario test asserts both this and that the adaptive run
+// strictly beats the static optimal plan when the true rates shift
+// mid-campaign.
+//
+// The HTTP face of this package is internal/service's POST /v1/observe
+// and GET /v1/adaptive endpoints; the library face is respat.Adaptive.
+package adapt

@@ -1,0 +1,23 @@
+// Package engine is the resilience runtime: it executes a real
+// application under a computational pattern (Section 2 protocol),
+// managing two-level checkpoints (in-memory and disk), guaranteed and
+// partial verifications, and recovery from injected fail-stop and
+// silent errors. The Monte-Carlo simulator (internal/sim) predicts the
+// performance of a pattern; the engine actually runs one, on real
+// state, with real snapshot/restore and real (or oracle) detectors.
+//
+// Time is virtual: operations advance a clock by their configured
+// costs, and error arrivals are driven by exposure clocks exactly as
+// in internal/sim, so an engine run and a simulator run fed the same
+// arrival traces produce identical timelines — a property the tests
+// assert.
+//
+// The engine is also the actuation point of the adaptive re-planning
+// loop (internal/adapt): Config.Boundary is called at every pattern
+// boundary with a report snapshot — including the per-clock exposure
+// seconds an observer needs to estimate arrival rates — and may swap
+// the engine onto a new pattern for subsequent instances. Report
+// counts the swaps (PlanSwaps), and Config.TargetWork provides the
+// work-based stopping rule that makes runs with different pattern
+// lengths directly comparable.
+package engine

@@ -1,16 +1,3 @@
-// Package engine is the resilience runtime: it executes a real
-// application under a computational pattern (Section 2 protocol),
-// managing two-level checkpoints (in-memory and disk), guaranteed and
-// partial verifications, and recovery from injected fail-stop and
-// silent errors. The Monte-Carlo simulator (internal/sim) predicts the
-// performance of a pattern; the engine actually runs one, on real
-// state, with real snapshot/restore and real (or oracle) detectors.
-//
-// Time is virtual: operations advance a clock by their configured
-// costs, and error arrivals are driven by exposure clocks exactly as
-// in internal/sim, so an engine run and a simulator run fed the same
-// arrival traces produce identical timelines — a property the tests
-// assert.
 package engine
 
 import (
@@ -170,13 +157,29 @@ type Config struct {
 	// ErrorsInOps exposes verifications, checkpoints and recoveries to
 	// fail-stop errors (Section 5 semantics).
 	ErrorsInOps bool
+	// TargetWork, when positive, runs pattern instances until the
+	// cumulative useful work reaches TargetWork seconds (Patterns may
+	// then be zero). It is the natural stopping rule when patterns of
+	// different lengths are mixed by Boundary swaps: runs with equal
+	// TargetWork complete equal work and their overheads compare
+	// directly.
+	TargetWork float64
+	// Boundary, if non-nil, is called after every completed pattern
+	// instance with the number of instances done so far and a snapshot
+	// of the running report. Returning a non-nil pattern swaps the
+	// engine onto it starting at the next instance — the swap point of
+	// the adaptive re-planning loop (internal/adapt); the pattern in
+	// flight is never altered. Returning an error aborts the run.
+	Boundary func(done int, rep Report) (*core.Pattern, error)
 }
 
 // Report summarises an engine run.
 type Report struct {
 	// Time is the total virtual wall-clock in seconds.
 	Time float64
-	// Work is the useful work completed (Patterns × W).
+	// Work is the useful work completed: the sum of the executed
+	// instances' pattern lengths W (instances may differ in length
+	// after a Boundary swap).
 	Work float64
 	// Overhead is (Time - Work) / Work.
 	Overhead float64
@@ -191,28 +194,39 @@ type Report struct {
 	MemRecs      int64
 	DetectByPart int64
 	DetectByGuar int64
+	// PlanSwaps counts the pattern swaps performed by the Boundary
+	// hook.
+	PlanSwaps int64
+	// FailStopExposure and SilentExposure are the total exposure
+	// seconds accumulated on the two error clocks — the denominators an
+	// observer needs to estimate arrival rates from the event counters
+	// (events per exposure second, not per wall-clock second).
+	FailStopExposure float64
+	SilentExposure   float64
 	// FinalTainted reports whether the final state carries an
 	// undetected corruption (only possible with an imperfect
 	// user-supplied guaranteed verifier).
 	FinalTainted bool
 }
 
-// Run executes the configured number of patterns and returns the
-// report. The application ends in the state a fault-free execution
-// would produce, provided the guaranteed verifier catches every
-// corruption (the oracle always does).
+// Run executes pattern instances until the stopping rule is met —
+// Patterns instances, or TargetWork seconds of useful work — and
+// returns the report. The application ends in the state a fault-free
+// execution would produce, provided the guaranteed verifier catches
+// every corruption (the oracle always does).
 func Run(cfg Config) (Report, error) {
 	if cfg.App == nil {
 		return Report{}, errors.New("engine: nil App")
 	}
-	if err := cfg.Pattern.Validate(); err != nil {
-		return Report{}, err
-	}
 	if err := cfg.Costs.Validate(); err != nil {
 		return Report{}, err
 	}
-	if cfg.Patterns <= 0 {
-		return Report{}, fmt.Errorf("engine: Patterns = %d, need > 0", cfg.Patterns)
+	if cfg.Patterns <= 0 && cfg.TargetWork <= 0 {
+		return Report{}, fmt.Errorf("engine: need Patterns > 0 or TargetWork > 0 (got %d, %v)",
+			cfg.Patterns, cfg.TargetWork)
+	}
+	if math.IsNaN(cfg.TargetWork) || math.IsInf(cfg.TargetWork, 0) {
+		return Report{}, fmt.Errorf("engine: TargetWork = %v, need finite", cfg.TargetWork)
 	}
 	e := &exec{cfg: cfg}
 	if e.cfg.Storage == nil {
@@ -229,8 +243,70 @@ func Run(cfg Config) (Report, error) {
 	}
 	e.fail = newClock(e.cfg.FailStop)
 	e.silent = newClock(e.cfg.Silent)
-	e.sched = cfg.Pattern.Schedule()
-	e.segStart = make([]int, cfg.Pattern.N())
+	if err := e.setPattern(cfg.Pattern); err != nil {
+		return Report{}, err
+	}
+	if err := e.initialCheckpoint(); err != nil {
+		return Report{}, err
+	}
+	var work float64
+	for done := 0; e.more(done, work); done++ {
+		if err := e.runPattern(); err != nil {
+			return Report{}, err
+		}
+		work += e.pat.W
+		if e.cfg.Boundary == nil {
+			continue
+		}
+		e.syncReport(work)
+		next, err := e.cfg.Boundary(done+1, e.rep)
+		if err != nil {
+			return Report{}, err
+		}
+		if next == nil {
+			continue
+		}
+		if err := next.Validate(); err != nil {
+			// Surface a broken swap pattern no matter where the run
+			// ends — the final boundary must not mask a controller bug
+			// that every earlier boundary would abort on.
+			return Report{}, err
+		}
+		if !e.more(done+1, work) {
+			// The stopping rule fires before another pattern runs: a swap
+			// decided at the final boundary would never execute, so don't
+			// install or count it (the observation was still fed above).
+			continue
+		}
+		if err := e.setPattern(*next); err != nil {
+			return Report{}, err
+		}
+		e.rep.PlanSwaps++
+	}
+	e.syncReport(work)
+	e.rep.Overhead = (e.rep.Time - e.rep.Work) / e.rep.Work
+	e.rep.FinalTainted = e.corrupted
+	return e.rep, nil
+}
+
+// more is the stopping rule: run until the instance count (when set)
+// and the work target (when set) are both met.
+func (e *exec) more(done int, work float64) bool {
+	if e.cfg.Patterns > 0 && done < e.cfg.Patterns {
+		return true
+	}
+	return e.cfg.TargetWork > 0 && work < e.cfg.TargetWork
+}
+
+// setPattern validates p and installs its flattened schedule; the next
+// runPattern executes p. Called once at startup and at Boundary swaps.
+func (e *exec) setPattern(p core.Pattern) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	e.pat = p
+	e.sched = p.Schedule()
+	e.segStart = make([]int, p.N())
 	seen := 0
 	for i, a := range e.sched {
 		if a.Op == core.OpChunk && a.Chunk == 0 && a.Segment == seen {
@@ -238,19 +314,17 @@ func Run(cfg Config) (Report, error) {
 			seen++
 		}
 	}
-	if err := e.initialCheckpoint(); err != nil {
-		return Report{}, err
-	}
-	for p := 0; p < cfg.Patterns; p++ {
-		if err := e.runPattern(); err != nil {
-			return Report{}, err
-		}
-	}
-	e.rep.Work = cfg.Pattern.W * float64(cfg.Patterns)
+	return nil
+}
+
+// syncReport refreshes the report fields derived from executor state
+// (total time, work, exposure clocks), so Boundary observers see a
+// consistent snapshot.
+func (e *exec) syncReport(work float64) {
+	e.rep.Work = work
 	e.rep.Time = e.now
-	e.rep.Overhead = (e.rep.Time - e.rep.Work) / e.rep.Work
-	e.rep.FinalTainted = e.corrupted
-	return e.rep, nil
+	e.rep.FailStopExposure = e.fail.exposure
+	e.rep.SilentExposure = e.silent.exposure
 }
 
 // clock drives one error source on an exposure clock (see sim).
@@ -278,6 +352,7 @@ func (c *clock) consume() {
 
 type exec struct {
 	cfg      Config
+	pat      core.Pattern // pattern currently executing (swappable at boundaries)
 	sched    []core.Action
 	segStart []int
 	fail     clock

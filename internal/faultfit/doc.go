@@ -1,0 +1,21 @@
+// Package faultfit estimates failure-model parameters from operations
+// data, closing the loop from observed errors to the planner.
+//
+// Two estimation styles are provided:
+//
+//   - Batch fits of a failure log: maximum-likelihood fits of the
+//     exponential law (the paper's model, FitExponential) and the
+//     Weibull law (the standard alternative on real machines,
+//     FitWeibull), AIC-based model selection and Kolmogorov-Smirnov
+//     goodness-of-fit (Select). Fit a log, obtain λf and λs, feed them
+//     to analytic.Optimal.
+//
+//   - Online estimation from censored interval observations
+//     (OnlineRate): "k events over t seconds of exposure", the form of
+//     telemetry a pattern-boundary observer produces. The estimate is
+//     a Gamma-conjugate posterior mean anchored by a prior
+//     pseudo-exposure — few or zero events can never yield a NaN or
+//     zero-rate plan — with exponential forgetting and a Poisson-GLR
+//     change-point detector for drifting platforms. This is the
+//     estimator behind internal/adapt.
+package faultfit

@@ -1,9 +1,3 @@
-// Package faultfit estimates failure-model parameters from observed
-// failure logs: maximum-likelihood fits of the exponential law (the
-// paper's model) and the Weibull law (the standard alternative on real
-// machines), AIC-based model selection and Kolmogorov-Smirnov
-// goodness-of-fit. It closes the loop from operations data to the
-// planner: fit a log, obtain λf and λs, feed them to analytic.Optimal.
 package faultfit
 
 import (

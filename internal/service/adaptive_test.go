@@ -1,0 +1,214 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"respat/internal/core"
+	"respat/internal/platform"
+)
+
+func deletePath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodDelete, path, nil))
+	return w
+}
+
+// observeBody builds an ObserveRequest body feeding events at a fixed
+// rate over one exposure window.
+func observeBody(session string, create bool, fsEvents, silEvents int64, exposure float64) string {
+	cfg := ""
+	if create {
+		cfg = `"kind":"PDMV","platform":"Hera",`
+	}
+	return fmt.Sprintf(`{"session":%q,%s"failstop":{"events":%d,"exposure":%g},"silent":{"events":%d,"exposure":%g}}`,
+		session, cfg, fsEvents, exposure, silEvents, exposure)
+}
+
+func TestObserveAdaptiveRoundTrip(t *testing.T) {
+	h := New(Config{}).Handler()
+
+	// Create the session with its first (empty) observation.
+	w := postJSON(t, h, "/v1/observe", `{"session":"exp","kind":"PDMV","platform":"Hera"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("create: status %d body %s", w.Code, w.Body)
+	}
+	var first ObserveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	prior := first.Rates
+
+	// Hera's rates are ~1e-7; feed windows at ~100x those rates. The
+	// fitted rates must move away from the prior.
+	var last ObserveResponse
+	for i := 0; i < 40; i++ {
+		w := postJSON(t, h, "/v1/observe", observeBody("exp", false, 2, 2, 2e5))
+		if w.Code != http.StatusOK {
+			t.Fatalf("observe %d: status %d body %s", i, w.Code, w.Body)
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Rates.FailStop <= prior.FailStop || last.Rates.Silent <= prior.Silent {
+		t.Fatalf("observations did not move the fitted rates: prior %+v, fitted %+v", prior, last.Rates)
+	}
+	if last.Swaps < 1 {
+		t.Fatalf("no plan swap after a 100x rate shift (response %+v)", last)
+	}
+
+	// GET /v1/adaptive: the embedded plan must be byte-for-byte what a
+	// cold /v1/plan at the fitted rates returns.
+	g := getPath(t, h, "/v1/adaptive?session=exp")
+	if g.Code != http.StatusOK {
+		t.Fatalf("adaptive: status %d body %s", g.Code, g.Body)
+	}
+	var ar AdaptiveResponse
+	if err := json.Unmarshal(g.Body.Bytes(), &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Kind != "PDMV" || ar.Observations != last.Observations || ar.Swaps != last.Swaps {
+		t.Fatalf("adaptive state %+v inconsistent with last observe %+v", ar, last)
+	}
+	cold := New(Config{}) // fresh service: a genuinely cold computation
+	hera, err := platform.ByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBytes, err := cold.Plan(core.PDMV, hera.Costs, ar.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(ar.Plan), coldBytes) {
+		t.Fatalf("adaptive plan bytes differ from cold Optimal at fitted rates:\n%s\n%s", ar.Plan, coldBytes)
+	}
+}
+
+func TestAdaptivePlanServedThroughCache(t *testing.T) {
+	svc := New(Config{})
+	h := svc.Handler()
+	postJSON(t, h, "/v1/observe", `{"session":"exp","kind":"PD","platform":"Hera"}`)
+
+	// Two consecutive GETs at unchanged rates: the second must hit the
+	// plan cache, not recompute.
+	if w := getPath(t, h, "/v1/adaptive?session=exp"); w.Code != http.StatusOK {
+		t.Fatalf("first GET: status %d body %s", w.Code, w.Body)
+	}
+	misses := svc.Metrics().Misses.Load()
+	hits := svc.Metrics().Hits.Load()
+	if w := getPath(t, h, "/v1/adaptive?session=exp"); w.Code != http.StatusOK {
+		t.Fatalf("second GET: status %d body %s", w.Code, w.Body)
+	}
+	if got := svc.Metrics().Misses.Load(); got != misses {
+		t.Fatalf("second GET recomputed the plan (misses %d -> %d)", misses, got)
+	}
+	if got := svc.Metrics().Hits.Load(); got != hits+1 {
+		t.Fatalf("second GET did not hit the cache (hits %d -> %d)", hits, got)
+	}
+}
+
+func TestObserveSessionLifecycleErrors(t *testing.T) {
+	h := New(Config{MaxSessions: 1}).Handler()
+
+	// Unknown session without a configuration.
+	if w := postJSON(t, h, "/v1/observe", `{"session":"nope","failstop":{"events":1,"exposure":10}}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("unconfigured create: status %d, want 400", w.Code)
+	}
+	// Missing session id.
+	if w := postJSON(t, h, "/v1/observe", `{"kind":"PD","platform":"Hera"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing session id: status %d, want 400", w.Code)
+	}
+	// Create, then contradict the configuration.
+	if w := postJSON(t, h, "/v1/observe", `{"session":"a","kind":"PD","platform":"Hera"}`); w.Code != http.StatusOK {
+		t.Fatalf("create: status %d body %s", w.Code, w.Body)
+	}
+	if w := postJSON(t, h, "/v1/observe", `{"session":"a","kind":"PDMV"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("kind mismatch: status %d, want 400", w.Code)
+	}
+	if w := postJSON(t, h, "/v1/observe", `{"session":"a","kind":"PD","platform":"Atlas"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("platform mismatch: status %d, want 400", w.Code)
+	}
+	// Tuning fields are creation-only: reconfiguration attempts fail
+	// loudly instead of being silently ignored, while replaying the
+	// session's effective tuning is accepted.
+	if w := postJSON(t, h, "/v1/observe", `{"session":"a","regretThreshold":0.2}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("tuning after creation: status %d, want 400", w.Code)
+	}
+	if w := postJSON(t, h, "/v1/observe", `{"session":"a","regretThreshold":0.05,"minObservations":4}`); w.Code != http.StatusOK {
+		t.Fatalf("replayed tuning: status %d body %s, want 200", w.Code, w.Body)
+	}
+	// Stating the effective defaults explicitly is a replay too: the
+	// stored config is the completed one, not the raw creation request.
+	if w := postJSON(t, h, "/v1/observe", `{"session":"a","window":16}`); w.Code != http.StatusOK {
+		t.Fatalf("replayed effective default window: status %d body %s, want 200", w.Code, w.Body)
+	}
+	// Session table full.
+	if w := postJSON(t, h, "/v1/observe", `{"session":"b","kind":"PD","platform":"Hera"}`); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("table overflow: status %d, want 429", w.Code)
+	}
+	// GET/DELETE of unknown sessions.
+	if w := getPath(t, h, "/v1/adaptive?session=nope"); w.Code != http.StatusNotFound {
+		t.Fatalf("GET unknown: status %d, want 404", w.Code)
+	}
+	if w := getPath(t, h, "/v1/adaptive"); w.Code != http.StatusBadRequest {
+		t.Fatalf("GET without session: status %d, want 400", w.Code)
+	}
+	if w := deletePath(t, h, "/v1/adaptive?session=nope"); w.Code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown: status %d, want 404", w.Code)
+	}
+	// DELETE frees a slot.
+	if w := deletePath(t, h, "/v1/adaptive?session=a"); w.Code != http.StatusOK {
+		t.Fatalf("DELETE: status %d body %s", w.Code, w.Body)
+	}
+	if w := postJSON(t, h, "/v1/observe", `{"session":"b","kind":"PD","platform":"Hera"}`); w.Code != http.StatusOK {
+		t.Fatalf("create after delete: status %d body %s", w.Code, w.Body)
+	}
+}
+
+func TestObserveRejectedCreateLeavesNoSession(t *testing.T) {
+	h := New(Config{MaxSessions: 1}).Handler()
+	// A session-creating request carrying an invalid observation must
+	// fail without leaving the session behind or consuming the slot.
+	if w := postJSON(t, h, "/v1/observe", `{"session":"x","kind":"PD","platform":"Hera","failstop":{"events":1,"exposure":0}}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("invalid create: status %d, want 400", w.Code)
+	}
+	// Windows above the HTTP-layer cap are rejected before allocation:
+	// the bound that matters is window x MaxSessions in aggregate.
+	if w := postJSON(t, h, "/v1/observe", `{"session":"x","kind":"PD","platform":"Hera","window":65536}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized window: status %d, want 400", w.Code)
+	}
+	if w := getPath(t, h, "/v1/adaptive?session=x"); w.Code != http.StatusNotFound {
+		t.Fatalf("rejected create left a session behind: status %d, want 404", w.Code)
+	}
+	if w := postJSON(t, h, "/v1/observe", `{"session":"y","kind":"PD","platform":"Hera"}`); w.Code != http.StatusOK {
+		t.Fatalf("slot leaked by rejected create: status %d body %s", w.Code, w.Body)
+	}
+}
+
+func TestMetricsCountAdaptiveEndpoints(t *testing.T) {
+	svc := New(Config{})
+	h := svc.Handler()
+	postJSON(t, h, "/v1/observe", `{"session":"m","kind":"PD","platform":"Hera"}`)
+	getPath(t, h, "/v1/adaptive?session=m")
+
+	w := getPath(t, h, "/metrics")
+	var snap Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.AdaptiveSessions != 1 {
+		t.Fatalf("adaptiveSessions = %d, want 1", snap.AdaptiveSessions)
+	}
+	if snap.Endpoints["observe"].Requests != 1 {
+		t.Fatalf("observe requests = %d, want 1", snap.Endpoints["observe"].Requests)
+	}
+	if snap.Endpoints["adaptive"].Requests != 1 {
+		t.Fatalf("adaptive requests = %d, want 1", snap.Endpoints["adaptive"].Requests)
+	}
+}

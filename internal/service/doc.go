@@ -1,0 +1,32 @@
+// Package service is the online planning layer of respat: a
+// high-throughput, concurrency-safe front end over the Table 1 planner
+// (analytic.Optimal), the exact-model planner (optimize.Exact), the
+// exact expected-time evaluator (analytic.Evaluator) and the adaptive
+// re-planning sessions of internal/adapt, designed to serve plan
+// lookups at high request rates.
+//
+// Three mechanisms make the hot path cheap:
+//
+//   - a sharded LRU cache of fully marshalled responses, keyed by a
+//     canonical fixed-width binary encoding of (family, Costs, Rates)
+//     (see Key) — a hit is one map lookup plus an LRU splice, with no
+//     allocation and no float formatting;
+//   - singleflight request coalescing — concurrent misses on the same
+//     key run the computation once and share the result;
+//   - per-shard evaluator reuse — a shard serves every request of the
+//     configurations hashing to it, so it keeps one
+//     *analytic.Evaluator warm under a shard-local lock, honouring the
+//     evaluator's not-concurrency-safe contract.
+//
+// The cache is a pure memo: a cached response is byte-identical to what
+// a cold computation would produce (asserted by tests; see DESIGN.md
+// §3). Batch requests fan out over the bounded worker discipline of
+// internal/sched, the same scheduler the experiment harness uses for
+// campaign cells.
+//
+// Adaptive sessions (POST /v1/observe, GET /v1/adaptive) are kept in a
+// capped in-memory table; the plan a session recommends is served
+// through the same cache, so it is byte-identical to a cold
+// /v1/plan at the fitted rates and inherits the coalescing guarantees.
+// The full HTTP reference lives in docs/api.md.
+package service

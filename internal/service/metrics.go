@@ -30,7 +30,7 @@ type Metrics struct {
 	// InFlight is the number of HTTP requests currently being served.
 	InFlight atomic.Int64
 
-	endpoints [4]endpointMetrics // indexed by endpointID
+	endpoints [epCount]endpointMetrics // indexed by endpointID
 }
 
 // endpointID indexes the per-endpoint metrics.
@@ -41,6 +41,10 @@ const (
 	epPlanExact
 	epEvaluate
 	epBatch
+	epObserve
+	epAdaptive
+
+	epCount // sentinel: sizes the endpoints array
 )
 
 func (e endpointID) String() string {
@@ -53,6 +57,10 @@ func (e endpointID) String() string {
 		return "evaluate"
 	case epBatch:
 		return "batch"
+	case epObserve:
+		return "observe"
+	case epAdaptive:
+		return "adaptive"
 	default:
 		return "unknown"
 	}
@@ -103,26 +111,29 @@ type EndpointSnapshot struct {
 
 // Snapshot is the JSON document served by GET /metrics.
 type Snapshot struct {
-	CacheHits    int64                       `json:"cacheHits"`
-	CacheMisses  int64                       `json:"cacheMisses"`
-	Coalesced    int64                       `json:"coalesced"`
-	Evictions    int64                       `json:"evictions"`
-	CacheEntries int                         `json:"cacheEntries"`
-	InFlight     int64                       `json:"inFlight"`
-	Endpoints    map[string]EndpointSnapshot `json:"endpoints"`
+	CacheHits        int64                       `json:"cacheHits"`
+	CacheMisses      int64                       `json:"cacheMisses"`
+	Coalesced        int64                       `json:"coalesced"`
+	Evictions        int64                       `json:"evictions"`
+	CacheEntries     int                         `json:"cacheEntries"`
+	InFlight         int64                       `json:"inFlight"`
+	AdaptiveSessions int                         `json:"adaptiveSessions"`
+	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
 }
 
-// snapshot captures the current counters. cacheEntries is supplied by
-// the service (it owns the cache).
-func (m *Metrics) snapshot(cacheEntries int) Snapshot {
+// snapshot captures the current counters. cacheEntries and sessions
+// are supplied by the service (it owns the cache and the session
+// table).
+func (m *Metrics) snapshot(cacheEntries, sessions int) Snapshot {
 	out := Snapshot{
-		CacheHits:    m.Hits.Load(),
-		CacheMisses:  m.Misses.Load(),
-		Coalesced:    m.Coalesced.Load(),
-		Evictions:    m.Evictions.Load(),
-		CacheEntries: cacheEntries,
-		InFlight:     m.InFlight.Load(),
-		Endpoints:    make(map[string]EndpointSnapshot, len(m.endpoints)),
+		CacheHits:        m.Hits.Load(),
+		CacheMisses:      m.Misses.Load(),
+		Coalesced:        m.Coalesced.Load(),
+		Evictions:        m.Evictions.Load(),
+		CacheEntries:     cacheEntries,
+		AdaptiveSessions: sessions,
+		InFlight:         m.InFlight.Load(),
+		Endpoints:        make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
 	for id := range m.endpoints {
 		e := &m.endpoints[id]

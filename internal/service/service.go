@@ -1,34 +1,12 @@
-// Package service is the online planning layer of respat: a
-// high-throughput, concurrency-safe front end over the Table 1 planner
-// (analytic.Optimal), the exact-model planner (optimize.Exact) and the
-// exact expected-time evaluator (analytic.Evaluator), designed to serve
-// plan lookups at high request rates.
-//
-// Three mechanisms make the hot path cheap:
-//
-//   - a sharded LRU cache of fully marshalled responses, keyed by a
-//     canonical fixed-width binary encoding of (family, Costs, Rates)
-//     (see Key) — a hit is one map lookup plus an LRU splice, with no
-//     allocation and no float formatting;
-//   - singleflight request coalescing — concurrent misses on the same
-//     key run the computation once and share the result;
-//   - per-shard evaluator reuse — a shard serves every request of the
-//     configurations hashing to it, so it keeps one
-//     *analytic.Evaluator warm under a shard-local lock, honouring the
-//     evaluator's not-concurrency-safe contract.
-//
-// The cache is a pure memo: a cached response is byte-identical to what
-// a cold computation would produce (asserted by tests; see DESIGN.md
-// §3). Batch requests fan out over the bounded worker discipline of
-// internal/sched, the same scheduler the experiment harness uses for
-// campaign cells.
 package service
 
 import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sync"
 
+	"respat/internal/adapt"
 	"respat/internal/analytic"
 	"respat/internal/core"
 	"respat/internal/optimize"
@@ -46,6 +24,10 @@ type Config struct {
 	// BatchWorkers bounds how many items of one POST /v1/batch body are
 	// processed concurrently (default GOMAXPROCS).
 	BatchWorkers int
+	// MaxSessions caps the number of live adaptive sessions (default
+	// 1024); POST /v1/observe for a new session id beyond the cap is
+	// rejected with 429. Sessions are freed by DELETE /v1/adaptive.
+	MaxSessions int
 }
 
 // withDefaults fills unset fields.
@@ -59,15 +41,22 @@ func (c Config) withDefaults() Config {
 	if c.BatchWorkers <= 0 {
 		c.BatchWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
 	return c
 }
 
 // Service plans, evaluates and compares resilience patterns behind the
-// plan cache. All methods are safe for concurrent use.
+// plan cache, and hosts the adaptive re-planning sessions of
+// internal/adapt. All methods are safe for concurrent use.
 type Service struct {
 	cfg     Config
 	cache   *cache
 	metrics Metrics
+
+	sessMu   sync.Mutex
+	sessions map[string]*adapt.Session
 }
 
 // New builds a Service. The zero Config is valid and gets defaults.

@@ -12,14 +12,17 @@
 // predicts its overhead, simulates it, and can execute a real
 // application under it.
 //
-// The three entry points:
+// The four entry points:
 //
 //   - Optimal plans a pattern family for given costs and error rates
 //     (first-order optimal W*, n*, m* and overhead);
 //   - Simulate Monte-Carlo-validates a pattern (the paper's Section 6
 //     methodology);
 //   - Protect executes a real application under a pattern with real
-//     checkpoints, verifications and recoveries (internal/engine).
+//     checkpoints, verifications and recoveries (internal/engine);
+//   - Adaptive opens an observe → fit → re-plan session that tracks
+//     drifting error rates and swaps plans when the incumbent's
+//     predicted regret exceeds a threshold (internal/adapt).
 //
 // Lower-level capabilities (exact expected-time evaluation, exact-model
 // planning, placement ablations, platform data) live in the internal
@@ -27,6 +30,7 @@
 package respat
 
 import (
+	"respat/internal/adapt"
 	"respat/internal/analytic"
 	"respat/internal/core"
 	"respat/internal/engine"
@@ -144,6 +148,40 @@ type (
 // Protect executes a real application under a pattern with two-level
 // checkpointing, verification and recovery.
 func Protect(cfg EngineConfig) (EngineReport, error) { return engine.Run(cfg) }
+
+// Adaptive re-exports: the observe → fit → re-plan loop of
+// internal/adapt.
+type (
+	// AdaptiveConfig assembles an adaptive session: pattern family,
+	// costs, prior rates, estimator tuning and the regret threshold.
+	AdaptiveConfig = adapt.Config
+	// AdaptiveSession is one live observe → fit → re-plan loop; safe
+	// for concurrent use.
+	AdaptiveSession = adapt.Session
+	// AdaptiveDecision reports what one observation did: fitted rates,
+	// predicted overheads, regret and whether the plan was swapped.
+	AdaptiveDecision = adapt.Decision
+	// AdaptiveStatus is a snapshot of a session's counters and state.
+	AdaptiveStatus = adapt.Status
+	// AdaptiveController feeds an engine run's pattern-boundary
+	// telemetry into a session (wire its Boundary method into
+	// EngineConfig.Boundary).
+	AdaptiveController = adapt.Controller
+	// AdaptiveObservation is one censored interval observation: event
+	// counts and exposure seconds per error source.
+	AdaptiveObservation = adapt.Observation
+)
+
+// Adaptive opens an adaptive re-planning session: it plans the family
+// at the prior rates, then refits the rates from the observations fed
+// to Session.Observe and swaps plans when the incumbent's predicted
+// overhead exceeds the optimum by the configured regret threshold.
+func Adaptive(cfg AdaptiveConfig) (*AdaptiveSession, error) { return adapt.NewSession(cfg) }
+
+// NewAdaptiveController binds a controller to a session so an engine
+// run can drive it: pass ctl.Boundary as EngineConfig.Boundary. A
+// controller belongs to exactly one engine run.
+func NewAdaptiveController(s *AdaptiveSession) *AdaptiveController { return adapt.NewController(s) }
 
 // Service re-exports: the online planning layer behind cmd/respatd,
 // exposed so applications can embed the planning API in their own HTTP

@@ -119,6 +119,47 @@ func TestFacadeProtect(t *testing.T) {
 	}
 }
 
+func TestFacadeAdaptive(t *testing.T) {
+	hera, err := respat.PlatformByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := respat.Adaptive(respat.AdaptiveConfig{
+		Kind: respat.PDMV, Costs: hera.Costs, Prior: hera.Rates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Rates(); got != hera.Rates {
+		t.Fatalf("initial fitted rates %+v != prior %+v", got, hera.Rates)
+	}
+	// Windows at ~100x Hera's rates eventually force a re-plan.
+	var swapped bool
+	for i := 0; i < 40 && !swapped; i++ {
+		d, err := sess.Observe(respat.AdaptiveObservation{
+			FailStopEvents: 2, FailStopExposure: 1e5,
+			SilentEvents: 2, SilentExposure: 1e5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		swapped = d.Replanned
+	}
+	if !swapped {
+		t.Fatalf("no re-plan after 40 shifted observations (status %+v)", sess.Status())
+	}
+	// The controller is the engine-side adapter; one boundary call with
+	// a zero report must not swap.
+	ctl := respat.NewAdaptiveController(sess)
+	next, err := ctl.Boundary(1, respat.EngineReport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != nil {
+		t.Fatal("empty boundary report triggered a swap")
+	}
+}
+
 // appFunc is a stateless test application counting executed work.
 type appFunc func(float64)
 
