@@ -16,6 +16,7 @@ import (
 	"respat/internal/analytic"
 	"respat/internal/core"
 	"respat/internal/harness"
+	"respat/internal/multilevel"
 	"respat/internal/optimize"
 	"respat/internal/platform"
 	"respat/internal/service"
@@ -278,6 +279,77 @@ func BenchmarkTwoLevelComparator(b *testing.B) {
 	}
 	b.ReportMetric(100*plan.Overhead, "twolevel-H*-%")
 	b.ReportMetric(float64(plan.N), "twolevel-n*")
+}
+
+// BenchmarkMultilevelPlan optimises the 3-level hierarchy pattern for
+// Hera (internal/multilevel): the full (W, n_1..n_L, m) search through
+// the shared exact evaluator.
+func BenchmarkMultilevelPlan(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	params, err := multilevel.FromPlatform(hera, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plan multilevel.Plan
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan, err = multilevel.Optimize(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*plan.Overhead, "H*-%")
+	b.ReportMetric(float64(plan.Spec.Counts[0]), "n1*")
+}
+
+// BenchmarkMultilevelEvaluator measures one exact expected-time
+// evaluation of a 3-level spec through a reused evaluator — the inner
+// loop of the multilevel planner's golden-section search.
+func BenchmarkMultilevelEvaluator(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	params, err := multilevel.FromPlatform(hera, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := multilevel.Optimize(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := multilevel.NewEvaluator(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.ExpectedTime(plan.Spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceMultilevelHot measures the multilevel endpoint's
+// cache-hit path — canonical level-vector key encoding plus the
+// sharded LRU lookup. The contract extends DESIGN.md §2.4 to the new
+// pattern family: 0 allocs/op (gated in CI by
+// TestMultilevelHotPathZeroAlloc).
+func BenchmarkServiceMultilevelHot(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	params, err := multilevel.FromPlatform(hera, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := service.New(service.Config{})
+	if _, err := svc.PlanMultilevel(params); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.PlanMultilevel(params); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // Micro-benchmarks for the core primitives.

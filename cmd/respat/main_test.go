@@ -26,6 +26,30 @@ func TestRunWithExactAblation(t *testing.T) {
 	}
 }
 
+func TestRunTwoLevelMode(t *testing.T) {
+	if err := runTwoLevel(9.46e-6, 0.8, 15.4, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTwoLevel(0, 0.8, 15.4, 300); err == nil {
+		t.Error("zero rate should fail (no finite optimum)")
+	}
+}
+
+func TestRunMultilevelMode(t *testing.T) {
+	if err := runMultilevel("Hera", 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMultilevel("", 2, 1); err == nil {
+		t.Error("missing platform should fail")
+	}
+	if err := runMultilevel("Summit", 2, 1); err == nil {
+		t.Error("unknown platform should fail")
+	}
+	if err := runMultilevel("Hera", 99, 1); err == nil {
+		t.Error("hierarchy depth beyond MaxLevels should fail")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run("Summit", "all", 0, 0, 0, 0, 0, false, 0); err == nil {
 		t.Error("unknown platform should fail")

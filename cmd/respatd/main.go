@@ -1,7 +1,8 @@
 // Command respatd serves resilience-pattern planning over HTTP: the
-// Table 1 first-order planner, the exact-model planner and the exact
-// expected-time evaluator, behind a sharded LRU plan cache with
-// request coalescing (see internal/service and DESIGN.md §2.4).
+// Table 1 first-order planner, the exact-model planner, the multilevel
+// hierarchy planner and the exact expected-time evaluator, behind a
+// sharded LRU plan cache with request coalescing (see internal/service
+// and DESIGN.md §2.4).
 //
 // Usage:
 //
@@ -10,16 +11,17 @@
 //
 // Endpoints (full reference with schemas: docs/api.md):
 //
-//	POST   /v1/plan        {"kind":"PDMV","platform":"Hera"}
-//	POST   /v1/plan/exact  same body; exact renewal-equation optimum
-//	POST   /v1/evaluate    {"pattern":{...},"platform":"Hera"}
-//	POST   /v1/batch       {"requests":[{"op":"plan",...},...]}
-//	POST   /v1/observe     {"session":"s1","kind":"PDMV","platform":"Hera",
-//	                        "failstop":{"events":2,"exposure":86400}, ...}
-//	GET    /v1/adaptive    ?session=s1 — fitted rates, counters, current plan
-//	DELETE /v1/adaptive    ?session=s1 — drop the session
-//	GET    /healthz        liveness
-//	GET    /metrics        cache counters + latency quantiles (JSON)
+//	POST   /v1/plan            {"kind":"PDMV","platform":"Hera"}
+//	POST   /v1/plan/exact      same body; exact renewal-equation optimum
+//	POST   /v1/plan/multilevel {"platform":"Hera","levels":3} or {"params":{...}}
+//	POST   /v1/evaluate        {"pattern":{...},"platform":"Hera"}
+//	POST   /v1/batch           {"requests":[{"op":"plan",...},...]}
+//	POST   /v1/observe         {"session":"s1","kind":"PDMV","platform":"Hera",
+//	                            "failstop":{"events":2,"exposure":86400}, ...}
+//	GET    /v1/adaptive        ?session=s1 — fitted rates, counters, current plan
+//	DELETE /v1/adaptive        ?session=s1 — drop the session
+//	GET    /healthz            liveness
+//	GET    /metrics            cache counters + per-endpoint latency quantiles (JSON)
 //
 // Parallelism flags follow the repo-wide convention (see DESIGN.md
 // §2.3): -batch-workers bounds fan-out across independent work items

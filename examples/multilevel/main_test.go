@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestMainSmoke runs the multilevel hierarchy study in-process.
+func TestMainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test skipped in -short mode")
+	}
+	main()
+}

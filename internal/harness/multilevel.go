@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+
+	"respat/internal/multilevel"
+	"respat/internal/platform"
+	"respat/internal/report"
+	"respat/internal/sim"
+)
+
+// MultilevelRow is one cell of the multilevel study: the optimal
+// L-level pattern for one platform, with its Monte-Carlo validation.
+type MultilevelRow struct {
+	Platform string
+	Levels   int
+	Plan     multilevel.Plan
+	// Predicted is the exact-model overhead of the plan; Simulated the
+	// Monte-Carlo estimate with its 95% half-width.
+	Predicted float64
+	Simulated float64
+	SimCI95   float64
+	// LocalRecsPerDay and TopRecsPerDay split the recovery traffic:
+	// rollbacks served below the top level (the hierarchy's win) vs
+	// full top-level recoveries.
+	LocalRecsPerDay float64
+	TopRecsPerDay   float64
+}
+
+// MultilevelStudy runs the hierarchy-depth figure: for each platform
+// and each depth, derive the multilevel configuration
+// (multilevel.FromPlatform), plan it, and validate the plan by
+// simulation. Cells fan over o.CampaignWorkers with the usual
+// determinism contract (per-cell seeds, rows written by index).
+func MultilevelStudy(platforms []platform.Platform, depths []int, o Options) ([]MultilevelRow, error) {
+	o = o.withDefaults()
+	type cellSpec struct {
+		p platform.Platform
+		l int
+	}
+	var cells []cellSpec
+	for _, p := range platforms {
+		for _, l := range depths {
+			cells = append(cells, cellSpec{p: p, l: l})
+		}
+	}
+	return mapCells(cells, o.CampaignWorkers, func(i int, cs cellSpec) (MultilevelRow, error) {
+		params, err := multilevel.FromPlatform(cs.p, cs.l)
+		if err != nil {
+			return MultilevelRow{}, fmt.Errorf("harness: %s/L=%d: %w", cs.p.Name, cs.l, err)
+		}
+		plan, err := multilevel.Optimize(params)
+		if err != nil {
+			return MultilevelRow{}, fmt.Errorf("harness: %s/L=%d: %w", cs.p.Name, cs.l, err)
+		}
+		res, err := sim.RunMultilevel(sim.MultilevelConfig{
+			Params:   params,
+			Spec:     plan.Spec,
+			Patterns: o.Patterns,
+			Runs:     o.Runs,
+			Seed:     o.cellSeed(i),
+			Workers:  o.Workers,
+		})
+		if err != nil {
+			return MultilevelRow{}, fmt.Errorf("harness: %s/L=%d: %w", cs.p.Name, cs.l, err)
+		}
+		row := MultilevelRow{
+			Platform:  cs.p.Name,
+			Levels:    cs.l,
+			Plan:      plan,
+			Predicted: plan.Overhead,
+			Simulated: res.Overhead.Mean(),
+			SimCI95:   res.Overhead.CI95(),
+		}
+		var local, top int64
+		for l := 0; l < cs.l; l++ {
+			if l == cs.l-1 {
+				top += res.Total.Recs[l]
+			} else {
+				local += res.Total.Recs[l]
+			}
+		}
+		local += res.Total.SilentRecs
+		days := res.WallTime.Mean() * float64(res.WallTime.N()) / platform.SecondsPerDay
+		if days > 0 {
+			row.LocalRecsPerDay = float64(local) / days
+			row.TopRecsPerDay = float64(top) / days
+		}
+		return row, nil
+	})
+}
+
+// RenderMultilevelStudy renders the hierarchy-depth figure.
+func RenderMultilevelStudy(rows []MultilevelRow) *report.Table {
+	t := report.New("Multilevel study: optimal L-level patterns (hierarchy + verified silent-error detection)",
+		"platform", "L", "W* (h)", "n_1..n_L", "m*", "H* exact", "H* sim", "±95%",
+		"local rec/day", "top rec/day")
+	for _, r := range rows {
+		t.AddRow(r.Platform, report.I(r.Levels),
+			report.Fixed(r.Plan.Spec.W/3600, 2),
+			fmt.Sprintf("%v", r.Plan.Spec.Counts), report.I(r.Plan.Spec.M),
+			report.Pct(r.Predicted, 2), report.Pct(r.Simulated, 2), report.Pct(r.SimCI95, 2),
+			report.Fixed(r.LocalRecsPerDay, 3), report.Fixed(r.TopRecsPerDay, 3))
+	}
+	return t
+}

@@ -1,0 +1,233 @@
+package multilevel
+
+import (
+	"math"
+	"testing"
+
+	"respat/internal/analytic"
+	"respat/internal/core"
+	"respat/internal/optimize"
+	"respat/internal/platform"
+	"respat/internal/twolevel"
+)
+
+// relErr returns |a-b| / max(|a|,|b|,1e-300).
+func relErr(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// analyticL2Params maps a paper configuration onto the L = 2
+// hierarchy the paper's model is a special case of: level 1 is the
+// memory checkpoint (C_1 = CM, silent rollbacks pay R_1 = RM), level 2
+// the disk checkpoint, and every fail-stop error is of level 2
+// (q_2 = 1, the paper's "a crash loses the memory" assumption) at cost
+// R_2 = RD + RM (the disk restore re-establishes the memory state).
+func analyticL2Params(c core.Costs, r core.Rates, interiorGuaranteed bool) Params {
+	return Params{
+		Levels: []Level{
+			{Ckpt: c.MemCkpt, Rec: c.MemRec, Share: 0},
+			{Ckpt: c.DiskCkpt, Rec: c.DiskRec + c.MemRec, Share: 1},
+		},
+		GuarVer:            c.GuarVer,
+		PartVer:            c.PartVer,
+		Recall:             c.Recall,
+		Rates:              r,
+		InteriorGuaranteed: interiorGuaranteed,
+	}
+}
+
+// TestEvaluatorDegeneratesToAnalyticL2: on the Table 2 platforms the
+// multilevel evaluator at L = 2 under the paper mapping reproduces
+// analytic's exact renewal-equation expected times for the PDMV and
+// PDMV* layouts across a grid of (n, m, W).
+func TestEvaluatorDegeneratesToAnalyticL2(t *testing.T) {
+	for _, pl := range platform.Table2() {
+		for _, interior := range []bool{false, true} {
+			kind := core.PDMV
+			if interior {
+				kind = core.PDMVStar
+			}
+			ref, err := analytic.NewEvaluator(pl.Costs, pl.Rates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := NewEvaluator(analyticL2Params(pl.Costs, pl.Rates, interior))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{1, 2, 5} {
+				for _, m := range []int{1, 2, 3, 7} {
+					for _, w := range []float64{900, 25000, 250000} {
+						want, err := ref.EvalLayout(kind, n, m, w)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := ev.ExpectedTime(UniformSpec(w, []int{n}, m))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if re := relErr(got, want); re > 1e-12 {
+							t.Errorf("%s %v n=%d m=%d W=%g: multilevel %v vs analytic %v (rel %.2e)",
+								pl.Name, kind, n, m, w, got, want, re)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorDegeneratesToAnalyticL1: at L = 1 the model is the
+// paper's single-segment family: one level whose checkpoint is the
+// disk checkpoint and whose recovery is paid by fail-stop and silent
+// rollbacks alike. The matching analytic configuration has
+// MemCkpt = 0, DiskRec = 0 and MemRec = R_1 (the paper charges RD per
+// crash inside the attempt and RM per failed attempt; zeroing RD and
+// letting RM carry the whole recovery makes both error kinds pay R_1,
+// exactly the single-level semantics).
+func TestEvaluatorDegeneratesToAnalyticL1(t *testing.T) {
+	costs := core.Costs{
+		DiskCkpt: 300, MemCkpt: 0, DiskRec: 0, MemRec: 330,
+		GuarVer: 15.4, PartVer: 0.154, Recall: 0.8,
+	}
+	rates := core.Rates{FailStop: 9.46e-7, Silent: 3.38e-6}
+	ref, err := analytic.NewEvaluator(costs, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{
+		Levels:  []Level{{Ckpt: 300, Rec: 330, Share: 1}},
+		GuarVer: 15.4, PartVer: 0.154, Recall: 0.8,
+		Rates: rates,
+	}
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{1, 2, 3, 9} {
+		for _, w := range []float64{1200, 18000, 90000} {
+			want, err := ref.EvalLayout(core.PDV, 1, m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ev.ExpectedTime(UniformSpec(w, nil, m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re := relErr(got, want); re > 1e-12 {
+				t.Errorf("m=%d W=%g: multilevel %v vs analytic %v (rel %.2e)", m, w, got, want, re)
+			}
+		}
+	}
+}
+
+// TestOptimizeDegeneratesToExactPlannerL1: the multilevel planner at
+// L = 1 lands on the same (W*, m*) optimum as optimize.Exact on the
+// matching single-segment configuration.
+func TestOptimizeDegeneratesToExactPlannerL1(t *testing.T) {
+	costs := core.Costs{
+		DiskCkpt: 300, MemCkpt: 0, DiskRec: 0, MemRec: 330,
+		GuarVer: 15.4, PartVer: 0.154, Recall: 0.8,
+	}
+	rates := core.Rates{FailStop: 9.46e-7, Silent: 3.38e-6}
+	want, err := optimize.Exact(core.PDV, costs, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Optimize(Params{
+		Levels:  []Level{{Ckpt: 300, Rec: 330, Share: 1}},
+		GuarVer: 15.4, PartVer: 0.154, Recall: 0.8,
+		Rates: rates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.M != want.M {
+		t.Errorf("m* = %d, optimize.Exact found %d", got.Spec.M, want.M)
+	}
+	if re := relErr(got.Overhead, want.Overhead); re > 1e-9 {
+		t.Errorf("H* = %v, optimize.Exact found %v (rel %.2e)", got.Overhead, want.Overhead, re)
+	}
+	if re := relErr(got.Spec.W, want.W); re > 1e-4 {
+		t.Errorf("W* = %v, optimize.Exact found %v (rel %.2e)", got.Spec.W, want.W, re)
+	}
+}
+
+// twolevelParams maps a classic two-level fail-stop configuration
+// (package twolevel) onto the L = 2 hierarchy with the silent-error
+// machinery switched off: zero verification costs, zero silent rate,
+// one chunk per interval.
+func twolevelParams(p twolevel.Params) Params {
+	return Params{
+		Levels: []Level{
+			{Ckpt: p.LocalCkpt, Rec: p.LocalRec, Share: p.LocalShare},
+			{Ckpt: p.DiskCkpt, Rec: p.DiskRec, Share: 1 - p.LocalShare},
+		},
+		Recall: 1,
+		Rates:  core.Rates{FailStop: p.Lambda},
+	}
+}
+
+// TestEvaluatorDegeneratesToTwoLevel: at L = 2 with silent rate 0 the
+// multilevel evaluator reproduces twolevel.ExpectedTime across a grid
+// of (W, n).
+func TestEvaluatorDegeneratesToTwoLevel(t *testing.T) {
+	tp := twolevel.Params{
+		Lambda: 9.46e-6, LocalShare: 0.8,
+		LocalCkpt: 15.4, DiskCkpt: 300, LocalRec: 15.4, DiskRec: 300,
+	}
+	ev, err := NewEvaluator(twolevelParams(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 9} {
+		for _, w := range []float64{800, 9000, 60000} {
+			want, err := twolevel.ExpectedTime(tp, w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ev.ExpectedTime(UniformSpec(w, []int{n}, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re := relErr(got, want); re > 1e-12 {
+				t.Errorf("n=%d W=%g: multilevel %v vs twolevel %v (rel %.2e)", n, w, got, want, re)
+			}
+		}
+	}
+}
+
+// TestOptimizeDegeneratesToTwoLevel: the multilevel planner at L = 2
+// with silent rate 0 reproduces twolevel.Optimize — same n*, matching
+// W* and overhead.
+func TestOptimizeDegeneratesToTwoLevel(t *testing.T) {
+	for _, tp := range []twolevel.Params{
+		{Lambda: 9.46e-6, LocalShare: 0.8, LocalCkpt: 15.4, DiskCkpt: 300, LocalRec: 15.4, DiskRec: 300},
+		{Lambda: 5e-5, LocalShare: 0.5, LocalCkpt: 5, DiskCkpt: 120, LocalRec: 10, DiskRec: 150},
+	} {
+		want, err := twolevel.Optimize(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Optimize(twolevelParams(tp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Spec.Counts[0] != want.N {
+			t.Errorf("n* = %d, twolevel.Optimize found %d", got.Spec.Counts[0], want.N)
+		}
+		if got.Spec.M != 1 {
+			t.Errorf("m* = %d, want 1 with no silent errors", got.Spec.M)
+		}
+		if re := relErr(got.Overhead, want.Overhead); re > 1e-9 {
+			t.Errorf("H* = %v, twolevel.Optimize found %v (rel %.2e)", got.Overhead, want.Overhead, re)
+		}
+		if re := relErr(got.Spec.W, want.W); re > 1e-4 {
+			t.Errorf("W* = %v, twolevel.Optimize found %v (rel %.2e)", got.Spec.W, want.W, re)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package multilevel
+
+import (
+	"fmt"
+	"math"
+
+	"respat/internal/xmath"
+)
+
+// MaxBranch caps the per-level branching factor and the chunk count
+// considered by the first-order seeding stage, mirroring
+// analytic.MaxSplit: it is only reached in degenerate parameter
+// regimes.
+const MaxBranch = 4096
+
+// Plan is the outcome of optimising a multilevel pattern for a
+// configuration.
+type Plan struct {
+	// Spec is the optimal pattern: W*, the per-level interval counts
+	// n_1..n_L and the chunk count m*.
+	Spec Spec
+	// Overhead is the exact expected overhead E(P)/W - 1 at the
+	// optimum.
+	Overhead float64
+}
+
+// String renders the plan compactly.
+func (p Plan) String() string {
+	return fmt.Sprintf("multilevel: W*=%.6gs n*=%v m*=%d H*=%.4f", p.Spec.W, p.Spec.Counts, p.Spec.M, p.Overhead)
+}
+
+// wEval is one (branch, m) leaf: the W-optimised overhead.
+type wEval struct {
+	w, h float64
+	err  error
+}
+
+// Optimize finds the multilevel plan minimising the exact expected
+// overhead over the pattern length W, the per-level branching factors
+// k_1..k_{L-1} (n_l = k_l·n_{l+1}) and the chunk count m. A
+// first-order stage minimises the oef·orw product of Definition 1
+// (cheap, no renewal recursion) to locate the search region; the exact
+// stage then runs nested convex integer searches capped around that
+// seed — the discipline of optimize.Exact — with a golden-section
+// search over W at every leaf. All leaf evaluations share one
+// Evaluator, so repeated probes at a layout only rescale W.
+func Optimize(p Params) (Plan, error) {
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		return Plan{}, err
+	}
+	return OptimizeWithEvaluator(ev)
+}
+
+// OptimizeWithEvaluator is Optimize on a caller-supplied evaluator,
+// for callers that keep a long-lived evaluator per configuration (e.g.
+// the planning service's shards). The caller is responsible for
+// serialising access to ev (an Evaluator is not safe for concurrent
+// use).
+func OptimizeWithEvaluator(ev *Evaluator) (Plan, error) {
+	p := ev.Params()
+	if p.Rates.Total() == 0 {
+		return Plan{}, fmt.Errorf("multilevel: both error rates are zero; no finite optimal pattern")
+	}
+	L := len(p.Levels)
+	seedBranch, seedM := firstOrderSeed(p)
+
+	// Exact-stage caps around the first-order seed.
+	caps := make([]int, L-1)
+	for d := range caps {
+		caps[d] = min(3*seedBranch[d]+4, MaxBranch)
+	}
+	maxM := min(3*seedM+4, MaxBranch)
+	if p.Rates.Silent == 0 {
+		// Without silent errors extra verifications only add cost (and
+		// tie exactly when V = 0), so pin the chunk count.
+		maxM = 1
+	}
+
+	// Memo key: up to MaxLevels-1 branching factors plus m.
+	memo := make(map[[MaxLevels]int]wEval)
+	branch := make([]int, L-1)
+	at := func(m int) wEval {
+		var key [MaxLevels]int
+		copy(key[:], branch)
+		key[MaxLevels-1] = m
+		if e, ok := memo[key]; ok {
+			return e
+		}
+		e := optimizeW(ev, UniformSpec(1, branch, m).Counts, m)
+		memo[key] = e
+		return e
+	}
+	bestM := func() (int, wEval) {
+		m, _ := xmath.MinimizeConvexInt(func(m int) float64 {
+			e := at(m)
+			if e.err != nil {
+				return math.Inf(1)
+			}
+			return e.h
+		}, 1, maxM)
+		return m, at(m)
+	}
+	// descend searches branching dimension d, returning the best leaf
+	// under the factors already fixed in branch[0..d-1].
+	var descend func(d int) (int, wEval)
+	descend = func(d int) (int, wEval) {
+		if d == len(branch) {
+			return bestM()
+		}
+		k, _ := xmath.MinimizeConvexInt(func(k int) float64 {
+			branch[d] = k
+			_, e := descend(d + 1)
+			if e.err != nil {
+				return math.Inf(1)
+			}
+			return e.h
+		}, 1, caps[d])
+		branch[d] = k
+		return descend(d + 1)
+	}
+	m, best := descend(0)
+	if best.err != nil {
+		return Plan{}, best.err
+	}
+	if math.IsInf(best.h, 1) || math.IsNaN(best.h) {
+		return Plan{}, fmt.Errorf("multilevel: optimisation diverged")
+	}
+	return Plan{Spec: UniformSpec(best.w, branch, m), Overhead: best.h}, nil
+}
+
+// firstOrderSeed minimises the first-order product oef·orw (whose
+// minimiser is W-free, exactly as in Theorems 2-4) over the branching
+// factors and the chunk count. Evaluations are O(L), so the full
+// MaxBranch range is affordable here.
+func firstOrderSeed(p Params) (branch []int, m int) {
+	L := len(p.Levels)
+	branch = make([]int, L-1)
+	product := func(m int) float64 {
+		counts := UniformSpec(1, branch, m).Counts
+		oef, orw := p.FirstOrder(counts, m)
+		return oef * orw
+	}
+	maxM := MaxBranch
+	if p.Rates.Silent == 0 {
+		maxM = 1
+	}
+	bestM := func() (int, float64) {
+		return xmath.MinimizeConvexInt(product, 1, maxM)
+	}
+	var descend func(d int) (int, float64)
+	descend = func(d int) (int, float64) {
+		if d == len(branch) {
+			return bestM()
+		}
+		k, _ := xmath.MinimizeConvexInt(func(k int) float64 {
+			branch[d] = k
+			_, f := descend(d + 1)
+			return f
+		}, 1, MaxBranch)
+		branch[d] = k
+		return descend(d + 1)
+	}
+	m, _ = descend(0)
+	return branch, m
+}
+
+// optimizeW minimises the exact expected overhead at fixed (counts, m)
+// over W by golden-section search, bracketed two orders of magnitude
+// around the first-order optimum sqrt(oef/orw).
+func optimizeW(ev *Evaluator, counts []int, m int) wEval {
+	p := ev.Params()
+	oef, orw := p.FirstOrder(counts, m)
+	guess := xmath.SqrtRatio(oef, orw)
+	if math.IsInf(guess, 1) || math.IsNaN(guess) || guess <= 0 {
+		return wEval{err: fmt.Errorf("multilevel: no finite period guess for n=%v m=%d", counts, m)}
+	}
+	spec := Spec{Counts: counts, M: m}
+	var evalErr error
+	h := func(w float64) float64 {
+		spec.W = w
+		h, err := ev.Overhead(spec)
+		if err != nil {
+			evalErr = err
+			return math.Inf(1)
+		}
+		return h
+	}
+	w, hMin := xmath.MinimizeGolden(h, guess/100, guess*100, 1e-10)
+	if evalErr != nil {
+		return wEval{err: evalErr}
+	}
+	return wEval{w: w, h: hMin}
+}

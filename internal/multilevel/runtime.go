@@ -1,0 +1,487 @@
+package multilevel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"respat/internal/faults"
+)
+
+// Application is the computation protected by the multilevel runtime.
+// It is structurally identical to engine.Application (the package is
+// deliberately engine-free so internal/sim can depend on it), so any
+// application written for the single-level engine — including
+// engine.WorkFunc — satisfies it unchanged.
+type Application interface {
+	// Advance performs `work` seconds of computation at unit speed.
+	Advance(work float64) error
+	// Snapshot serialises the complete application state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the application state from a snapshot.
+	Restore(data []byte) error
+}
+
+// Verifier checks the application for silent data corruption; Check
+// returns clean=false when corruption is detected.
+type Verifier interface {
+	Check(app Application) (clean bool, err error)
+}
+
+// Storage persists checkpoints across the hierarchy; levels are
+// 1-based, cheapest first, mirroring Params.Levels.
+type Storage interface {
+	Save(level int, data []byte) error
+	Load(level int) ([]byte, error)
+}
+
+// MemStorage keeps every level in process memory, the multilevel
+// analogue of engine.MemStorage.
+type MemStorage struct {
+	snaps [][]byte
+}
+
+// NewMemStorage sizes an in-memory store for a hierarchy of levels.
+func NewMemStorage(levels int) *MemStorage {
+	return &MemStorage{snaps: make([][]byte, levels)}
+}
+
+// Save stores a copy of data at the given level.
+func (s *MemStorage) Save(level int, data []byte) error {
+	if level < 1 || level > len(s.snaps) {
+		return fmt.Errorf("multilevel: storage level %d outside 1..%d", level, len(s.snaps))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.snaps[level-1] = cp
+	return nil
+}
+
+// Load returns a copy of the checkpoint at the given level.
+func (s *MemStorage) Load(level int) ([]byte, error) {
+	if level < 1 || level > len(s.snaps) {
+		return nil, fmt.Errorf("multilevel: storage level %d outside 1..%d", level, len(s.snaps))
+	}
+	if s.snaps[level-1] == nil {
+		return nil, fmt.Errorf("multilevel: no checkpoint at level %d", level)
+	}
+	return append([]byte(nil), s.snaps[level-1]...), nil
+}
+
+// EngineConfig assembles a multilevel runtime run, the hierarchy
+// analogue of engine.Config: it protects a real Application with
+// per-level checkpoints, verified silent-error detection and
+// level-aware rollback.
+type EngineConfig struct {
+	App    Application
+	Params Params
+	Spec   Spec
+	// Patterns is the number of pattern instances to execute.
+	Patterns int
+	// TargetWork, when positive, runs instances until the cumulative
+	// useful work reaches TargetWork seconds — the stopping rule that
+	// keeps runs comparable when Boundary swaps mix pattern lengths.
+	TargetWork float64
+	// Storage backs the checkpoint hierarchy; nil selects a MemStorage.
+	Storage Storage
+	// FailStop and Silent supply error arrivals on exposure clocks;
+	// nil means no errors of that type.
+	FailStop faults.Source
+	Silent   faults.Source
+	// LevelDraw drives the fail-stop level classification (the q
+	// shares); nil seeds a fresh deterministic stream.
+	LevelDraw *faults.Bernoulli
+	// Corrupt applies one silent corruption to the application; nil
+	// leaves state untouched (the corruption is still tracked for
+	// oracle detection).
+	Corrupt func(app Application) error
+	// Guaranteed verifies at level-1 interval ends; nil selects the
+	// oracle flagging exactly the injected corruptions.
+	Guaranteed Verifier
+	// Partial verifies at interior chunk boundaries; nil selects an
+	// oracle detecting injected corruptions with the interior recall.
+	Partial Verifier
+	// Detect drives oracle partial detection; nil seeds a fresh
+	// deterministic stream.
+	Detect *faults.Bernoulli
+	// Boundary, if non-nil, is called after every completed pattern
+	// instance with the instance count and a report snapshot.
+	// Returning a non-nil spec swaps the runtime onto it from the next
+	// instance — the multilevel swap point for an adaptive re-planning
+	// loop (the report carries the per-source exposure clocks such a
+	// loop needs); the pattern in flight is never altered. Returning
+	// an error aborts the run.
+	Boundary func(done int, rep Report) (*Spec, error)
+}
+
+// Report summarises a multilevel runtime run.
+type Report struct {
+	// Time is the total virtual wall-clock in seconds; Work the useful
+	// work completed; Overhead (Time - Work) / Work.
+	Time     float64
+	Work     float64
+	Overhead float64
+	// Event counters.
+	FailStop     int64
+	Silent       int64
+	PartVerifs   int64
+	GuarVerifs   int64
+	DetectByPart int64
+	DetectByGuar int64
+	SilentRecs   int64
+	// Ckpts[l] and Recs[l] count level-(l+1) checkpoints and
+	// fail-stop recoveries.
+	Ckpts [MaxLevels]int64
+	Recs  [MaxLevels]int64
+	// PlanSwaps counts the spec swaps performed by the Boundary hook.
+	PlanSwaps int64
+	// FailStopExposure and SilentExposure are the exposure seconds of
+	// the two error clocks — the rate-estimation denominators an
+	// adaptive observer diffs at boundaries.
+	FailStopExposure float64
+	SilentExposure   float64
+	// FinalTainted reports whether the final state carries an
+	// undetected corruption (only possible with an imperfect
+	// user-supplied guaranteed verifier).
+	FinalTainted bool
+}
+
+// RunEngine executes pattern instances under the multilevel protocol
+// until the stopping rule is met and returns the report. Errors strike
+// computations only (the model's Sections 3-4 assumption); a
+// fail-stop error draws its level, restores the corresponding
+// checkpoint and replays from the most recent boundary of that level
+// or above; a detected silent error restores the level-1 checkpoint.
+func RunEngine(cfg EngineConfig) (Report, error) {
+	if cfg.App == nil {
+		return Report{}, errors.New("multilevel: nil App")
+	}
+	layout, err := cfg.Params.Layout(cfg.Spec)
+	if err != nil {
+		return Report{}, err
+	}
+	if cfg.Patterns <= 0 && cfg.TargetWork <= 0 {
+		return Report{}, fmt.Errorf("multilevel: need Patterns > 0 or TargetWork > 0 (got %d, %v)",
+			cfg.Patterns, cfg.TargetWork)
+	}
+	if math.IsNaN(cfg.TargetWork) || math.IsInf(cfg.TargetWork, 0) {
+		return Report{}, fmt.Errorf("multilevel: TargetWork = %v, need finite", cfg.TargetWork)
+	}
+	e := &mlExec{cfg: cfg, layout: layout}
+	if e.cfg.Storage == nil {
+		e.cfg.Storage = NewMemStorage(len(cfg.Params.Levels))
+	}
+	if e.cfg.FailStop == nil {
+		e.cfg.FailStop = faults.Never{}
+	}
+	if e.cfg.Silent == nil {
+		e.cfg.Silent = faults.Never{}
+	}
+	if e.cfg.Detect == nil {
+		e.cfg.Detect = faults.NewBernoulli(0x5eed, 0xdee7)
+	}
+	if e.cfg.LevelDraw == nil {
+		e.cfg.LevelDraw = faults.NewBernoulli(0x1e7e1, 0xd4a3)
+	}
+	e.fail = newClock(e.cfg.FailStop)
+	e.silent = newClock(e.cfg.Silent)
+	e.tainted = make([]bool, len(cfg.Params.Levels))
+	if err := e.initialCheckpoint(); err != nil {
+		return Report{}, err
+	}
+	var work float64
+	for done := 0; e.more(done, work); done++ {
+		if err := e.runPattern(); err != nil {
+			return Report{}, err
+		}
+		work += e.layout.Spec.W
+		if e.cfg.Boundary == nil {
+			continue
+		}
+		e.syncReport(work)
+		next, err := e.cfg.Boundary(done+1, e.rep)
+		if err != nil {
+			return Report{}, err
+		}
+		if next == nil {
+			continue
+		}
+		nextLayout, err := e.cfg.Params.Layout(*next)
+		if err != nil {
+			// Surface a broken swap spec no matter where the run ends,
+			// matching engine.Run's final-boundary contract.
+			return Report{}, err
+		}
+		if !e.more(done+1, work) {
+			continue
+		}
+		e.layout = nextLayout
+		e.rep.PlanSwaps++
+	}
+	e.syncReport(work)
+	e.rep.Overhead = (e.rep.Time - e.rep.Work) / e.rep.Work
+	e.rep.FinalTainted = e.corrupted
+	return e.rep, nil
+}
+
+// mlExec is the multilevel runtime executor.
+type mlExec struct {
+	cfg    EngineConfig
+	layout Layout
+	fail   clock
+	silent clock
+	now    float64
+	rep    Report
+	// Ground-truth corruption tracking, as in engine.exec: the runtime
+	// injects the corruptions, so it knows which snapshots are tainted;
+	// protocol decisions still come only from the verifiers.
+	corrupted bool
+	tainted   []bool // per storage level
+}
+
+// clock drives one error source on an exposure clock (see engine).
+type clock struct {
+	src      faults.Source
+	exposure float64
+	next     float64
+}
+
+func newClock(src faults.Source) clock {
+	return clock{src: src, next: src.Next(0)}
+}
+
+func (c *clock) within(d float64) (float64, bool) {
+	dt := c.next - c.exposure
+	return dt, dt <= d
+}
+
+func (c *clock) advance(d float64) { c.exposure += d }
+
+func (c *clock) consume() {
+	c.exposure = c.next
+	c.next = c.src.Next(c.exposure)
+}
+
+func (e *mlExec) more(done int, work float64) bool {
+	if e.cfg.Patterns > 0 && done < e.cfg.Patterns {
+		return true
+	}
+	return e.cfg.TargetWork > 0 && work < e.cfg.TargetWork
+}
+
+func (e *mlExec) syncReport(work float64) {
+	e.rep.Work = work
+	e.rep.Time = e.now
+	e.rep.FailStopExposure = e.fail.exposure
+	e.rep.SilentExposure = e.silent.exposure
+}
+
+// initialCheckpoint persists the pristine initial state at every level.
+func (e *mlExec) initialCheckpoint() error {
+	snap, err := e.cfg.App.Snapshot()
+	if err != nil {
+		return err
+	}
+	for l := 1; l <= len(e.cfg.Params.Levels); l++ {
+		if err := e.cfg.Storage.Save(l, snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPattern executes one pattern instance with level-aware rollback.
+func (e *mlExec) runPattern() error {
+	n1 := e.layout.Spec.Counts[0]
+	t := 0
+	for t < n1 {
+		ok, lvl, err := e.runInterval()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if err := e.recover(lvl); err != nil {
+				return err
+			}
+			t = e.layout.RollbackTo(lvl, t)
+			continue
+		}
+		if err := e.commitBoundary(t); err != nil {
+			return err
+		}
+		t++
+	}
+	return nil
+}
+
+// commitBoundary writes the checkpoint stack of the boundary closing
+// interval t.
+func (e *mlExec) commitBoundary(t int) error {
+	snap, err := e.cfg.App.Snapshot()
+	if err != nil {
+		return err
+	}
+	for l := 1; l <= e.layout.BoundaryLevel(t); l++ {
+		e.now += e.cfg.Params.Levels[l-1].Ckpt
+		if err := e.cfg.Storage.Save(l, snap); err != nil {
+			return err
+		}
+		e.tainted[l-1] = e.corrupted
+		e.rep.Ckpts[l-1]++
+	}
+	return nil
+}
+
+// recover restores the level-lvl checkpoint after a fail-stop error of
+// that level.
+func (e *mlExec) recover(lvl int) error {
+	e.now += e.cfg.Params.Levels[lvl-1].Rec
+	snap, err := e.cfg.Storage.Load(lvl)
+	if err != nil {
+		return err
+	}
+	if err := e.cfg.App.Restore(snap); err != nil {
+		return err
+	}
+	// Recovering at level lvl re-establishes the levels below it from
+	// the same state (R_lvl includes that cost by definition).
+	for l := 1; l < lvl; l++ {
+		if err := e.cfg.Storage.Save(l, snap); err != nil {
+			return err
+		}
+		e.tainted[l-1] = e.tainted[lvl-1]
+	}
+	e.corrupted = e.tainted[lvl-1]
+	e.rep.Recs[lvl-1]++
+	return nil
+}
+
+// silentRollback restores the level-1 checkpoint after a verification
+// alarm.
+func (e *mlExec) silentRollback() error {
+	e.now += e.cfg.Params.Levels[0].Rec
+	snap, err := e.cfg.Storage.Load(1)
+	if err != nil {
+		return err
+	}
+	if err := e.cfg.App.Restore(snap); err != nil {
+		return err
+	}
+	e.corrupted = e.tainted[0]
+	e.rep.SilentRecs++
+	return nil
+}
+
+// runInterval executes one level-1 interval until its closing
+// guaranteed verification passes; ok=false reports a fail-stop of
+// level lvl.
+func (e *mlExec) runInterval() (ok bool, lvl int, err error) {
+	m := len(e.layout.Chunks)
+	for {
+		j := 0
+		for j < m {
+			done, err := e.chunk(e.layout.Chunks[j])
+			if err != nil {
+				return false, 0, err
+			}
+			if !done {
+				return false, e.cfg.Params.PickLevel(e.cfg.LevelDraw.Rng.Float64()), nil
+			}
+			if j < m-1 {
+				e.now += e.layout.InteriorCost
+				e.rep.PartVerifs++
+				detected, err := e.check(true)
+				if err != nil {
+					return false, 0, err
+				}
+				if detected {
+					e.rep.DetectByPart++
+					if err := e.silentRollback(); err != nil {
+						return false, 0, err
+					}
+					j = 0
+					continue
+				}
+			}
+			j++
+		}
+		e.now += e.cfg.Params.GuarVer
+		e.rep.GuarVerifs++
+		detected, err := e.check(false)
+		if err != nil {
+			return false, 0, err
+		}
+		if !detected {
+			return true, 0, nil
+		}
+		e.rep.DetectByGuar++
+		if err := e.silentRollback(); err != nil {
+			return false, 0, err
+		}
+	}
+}
+
+// check runs a partial or guaranteed verification decision (the time
+// was already spent by the caller) and reports a detection.
+func (e *mlExec) check(partial bool) (bool, error) {
+	var clean bool
+	var err error
+	switch {
+	case partial && e.cfg.Partial != nil:
+		clean, err = e.cfg.Partial.Check(e.cfg.App)
+	case partial:
+		clean = !(e.corrupted && e.cfg.Detect.Hit(e.layout.InteriorRecall))
+	case e.cfg.Guaranteed != nil:
+		clean, err = e.cfg.Guaranteed.Check(e.cfg.App)
+	default:
+		clean = !e.corrupted
+	}
+	if err != nil {
+		return false, err
+	}
+	return !clean, nil
+}
+
+// chunk advances the application by w seconds, applying silent
+// corruptions at their arrival offsets and stopping at a fail-stop
+// arrival (partial progress dies with the machine, so Advance is not
+// called for it).
+func (e *mlExec) chunk(w float64) (bool, error) {
+	remaining := w
+	for remaining > 0 {
+		fdt, fHit := e.fail.within(remaining)
+		sdt, sHit := e.silent.within(remaining)
+		if sHit && (!fHit || sdt <= fdt) {
+			if err := e.cfg.App.Advance(sdt); err != nil {
+				return false, err
+			}
+			e.silent.consume()
+			e.fail.advance(sdt)
+			e.now += sdt
+			remaining -= sdt
+			e.corrupted = true
+			e.rep.Silent++
+			if e.cfg.Corrupt != nil {
+				if err := e.cfg.Corrupt(e.cfg.App); err != nil {
+					return false, err
+				}
+			}
+			continue
+		}
+		if fHit {
+			e.fail.consume()
+			e.silent.advance(fdt)
+			e.now += fdt
+			e.rep.FailStop++
+			return false, nil
+		}
+		if err := e.cfg.App.Advance(remaining); err != nil {
+			return false, err
+		}
+		e.fail.advance(remaining)
+		e.silent.advance(remaining)
+		e.now += remaining
+		remaining = 0
+	}
+	return true, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"respat/internal/analytic"
 	"respat/internal/core"
+	"respat/internal/multilevel"
 )
 
 // cache is the sharded LRU plan cache with singleflight request
@@ -33,14 +34,19 @@ type shard struct {
 	capacity int                   // max entries; > 0
 	inflight map[Key]*flight
 
-	// evalMu serialises use of the shard's reusable evaluator.
-	// analytic.Evaluator is not safe for concurrent use; holding evalMu
-	// for the whole computation honours that contract while letting
-	// other shards compute in parallel.
+	// evalMu serialises use of the shard's reusable evaluators.
+	// Neither analytic.Evaluator nor multilevel.Evaluator is safe for
+	// concurrent use; holding evalMu for the whole computation honours
+	// that contract while letting other shards compute in parallel.
 	evalMu    sync.Mutex
 	evalCosts core.Costs
 	evalRates core.Rates
 	eval      *analytic.Evaluator
+	// mlKey identifies the configuration of the warm multilevel
+	// evaluator (Params holds a slice, so the canonical cache key is
+	// the equality witness).
+	mlKey  Key
+	mlEval *multilevel.Evaluator
 }
 
 // entry is one cached response.
@@ -192,4 +198,20 @@ func (s *shard) withEvaluator(costs core.Costs, rates core.Rates, fn func(*analy
 		s.eval, s.evalCosts, s.evalRates = ev, costs, rates
 	}
 	return fn(s.eval)
+}
+
+// withMultilevelEvaluator is withEvaluator for the multilevel planner:
+// the shard keeps one multilevel.Evaluator warm for the configuration
+// it last served, identified by its canonical key.
+func (s *shard) withMultilevelEvaluator(key Key, p multilevel.Params, fn func(*multilevel.Evaluator) error) error {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	if s.mlEval == nil || s.mlKey != key {
+		ev, err := multilevel.NewEvaluator(p)
+		if err != nil {
+			return err
+		}
+		s.mlEval, s.mlKey = ev, key
+	}
+	return fn(s.mlEval)
 }

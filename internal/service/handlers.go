@@ -90,24 +90,26 @@ func resolveConfig(platName string, costs *core.Costs, rates *core.Rates) (core.
 
 // Handler returns the service's HTTP API.
 //
-//	POST   /v1/plan        first-order Table 1 plan (cached)
-//	POST   /v1/plan/exact  exact-model plan (cached)
-//	POST   /v1/evaluate    exact expected time of a supplied pattern
-//	POST   /v1/batch       many items fanned over a bounded worker pool
-//	POST   /v1/observe     feed an observation to an adaptive session
-//	GET    /v1/adaptive    adaptive session state + recommended plan
-//	DELETE /v1/adaptive    drop an adaptive session
-//	GET    /healthz        liveness probe
-//	GET    /metrics        JSON counters and latency quantiles
+//	POST   /v1/plan            first-order Table 1 plan (cached)
+//	POST   /v1/plan/exact      exact-model plan (cached)
+//	POST   /v1/plan/multilevel optimal multilevel pattern (cached)
+//	POST   /v1/evaluate        exact expected time of a supplied pattern
+//	POST   /v1/batch           many items fanned over a bounded worker pool
+//	POST   /v1/observe         feed an observation to an adaptive session
+//	GET    /v1/adaptive        adaptive session state + recommended plan
+//	DELETE /v1/adaptive        drop an adaptive session
+//	GET    /healthz            liveness probe
+//	GET    /metrics            JSON counters and latency quantiles
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.instrument(epPlan, maxRequestBytes, s.handlePlan))
 	mux.HandleFunc("POST /v1/plan/exact", s.instrument(epPlanExact, maxRequestBytes, s.handlePlanExact))
+	mux.HandleFunc("POST /v1/plan/multilevel", s.instrument(epPlanMultilevel, maxRequestBytes, s.handlePlanMultilevel))
 	mux.HandleFunc("POST /v1/evaluate", s.instrument(epEvaluate, maxRequestBytes, s.handleEvaluate))
 	mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, maxBatchRequestBytes, s.handleBatch))
 	mux.HandleFunc("POST /v1/observe", s.instrument(epObserve, maxRequestBytes, s.handleObserve))
 	mux.HandleFunc("GET /v1/adaptive", s.instrument(epAdaptive, maxRequestBytes, s.handleAdaptive))
-	mux.HandleFunc("DELETE /v1/adaptive", s.instrument(epAdaptive, maxRequestBytes, s.handleAdaptiveDelete))
+	mux.HandleFunc("DELETE /v1/adaptive", s.instrument(epAdaptiveDelete, maxRequestBytes, s.handleAdaptiveDelete))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

@@ -36,13 +36,19 @@ type Metrics struct {
 // endpointID indexes the per-endpoint metrics.
 type endpointID int
 
+// Every routed (method, path) pair gets its own id, so the /metrics
+// latency quantiles are per endpoint — /v1/plan/multilevel and
+// /v1/plan/exact report separate histograms, and the adaptive GET and
+// DELETE (different cost profiles) are not pooled either.
 const (
 	epPlan endpointID = iota
 	epPlanExact
+	epPlanMultilevel
 	epEvaluate
 	epBatch
 	epObserve
 	epAdaptive
+	epAdaptiveDelete
 
 	epCount // sentinel: sizes the endpoints array
 )
@@ -53,6 +59,8 @@ func (e endpointID) String() string {
 		return "plan"
 	case epPlanExact:
 		return "plan_exact"
+	case epPlanMultilevel:
+		return "plan_multilevel"
 	case epEvaluate:
 		return "evaluate"
 	case epBatch:
@@ -61,6 +69,8 @@ func (e endpointID) String() string {
 		return "observe"
 	case epAdaptive:
 		return "adaptive"
+	case epAdaptiveDelete:
+		return "adaptive_delete"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+
+	"respat/internal/multilevel"
+	"respat/internal/platform"
+)
+
+// MultilevelPlanRequest is the body of POST /v1/plan/multilevel.
+// Exactly one of the two configuration forms must be given:
+//
+//   - Platform (a Table 2 name) plus Levels, the hierarchy depth — the
+//     configuration is derived by multilevel.FromPlatform;
+//   - Params, the explicit hierarchy (per-level Ckpt/Rec/Share,
+//     verification costs, rates; Go field names, like costs/rates on
+//     the other planning endpoints).
+type MultilevelPlanRequest struct {
+	Platform string             `json:"platform,omitempty"`
+	Levels   int                `json:"levels,omitempty"`
+	Params   *multilevel.Params `json:"params,omitempty"`
+}
+
+// MultilevelPlanResponse is the body served for /v1/plan/multilevel.
+type MultilevelPlanResponse struct {
+	// Levels is the hierarchy depth L.
+	Levels int `json:"levels"`
+	// Counts holds n_1..n_L, the optimal per-level interval counts.
+	Counts []int `json:"counts"`
+	// M is the optimal chunk count per level-1 interval.
+	M int `json:"m"`
+	// W is the optimal pattern length W* in seconds.
+	W float64 `json:"w"`
+	// Overhead is the exact expected overhead E(P)/W - 1 at the optimum.
+	Overhead float64 `json:"overhead"`
+}
+
+// PlanMultilevel returns the marshalled optimal multilevel plan for p,
+// cached like the other planning operations: the canonical key covers
+// the whole level vector, hits are allocation-free, and concurrent
+// misses coalesce onto one computation on the owning shard's warm
+// multilevel evaluator. The returned bytes are shared with the cache
+// and must not be mutated.
+func (s *Service) PlanMultilevel(p multilevel.Params) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	key := EncodeMultilevelKey(p)
+	if resp, ok := s.cache.get(key); ok {
+		return resp, nil
+	}
+	return s.planMultilevelCold(key, p)
+}
+
+// planMultilevelCold is the miss path of PlanMultilevel, split out so
+// the hot path does not pay for the compute closure.
+func (s *Service) planMultilevelCold(key Key, p multilevel.Params) ([]byte, error) {
+	sh := s.cache.shard(key)
+	return s.cache.getOrCompute(key, func() ([]byte, error) {
+		var plan multilevel.Plan
+		err := sh.withMultilevelEvaluator(key, p, func(ev *multilevel.Evaluator) error {
+			var err error
+			plan, err = multilevel.OptimizeWithEvaluator(ev)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return marshalResponse(MultilevelPlanResponse{
+			Levels:   p.L(),
+			Counts:   plan.Spec.Counts,
+			M:        plan.Spec.M,
+			W:        plan.Spec.W,
+			Overhead: plan.Overhead,
+		})
+	})
+}
+
+func (s *Service) handlePlanMultilevel(r *http.Request) ([]byte, int, error) {
+	var req MultilevelPlanRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	params, err := resolveMultilevelConfig(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	body, err := s.PlanMultilevel(params)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return body, http.StatusOK, nil
+}
+
+// resolveMultilevelConfig turns the (platform+levels | params) request
+// into a concrete configuration.
+func resolveMultilevelConfig(req MultilevelPlanRequest) (multilevel.Params, error) {
+	if req.Platform != "" {
+		if req.Params != nil {
+			return multilevel.Params{}, errors.New("give either platform+levels or params, not both")
+		}
+		if req.Levels == 0 {
+			return multilevel.Params{}, errors.New("platform form needs levels (the hierarchy depth)")
+		}
+		pl, err := platform.ByName(req.Platform)
+		if err != nil {
+			return multilevel.Params{}, err
+		}
+		return multilevel.FromPlatform(pl, req.Levels)
+	}
+	if req.Params == nil {
+		return multilevel.Params{}, errors.New("need a platform name plus levels, or explicit params")
+	}
+	if req.Levels != 0 {
+		return multilevel.Params{}, errors.New("levels only applies to the platform form")
+	}
+	return *req.Params, nil
+}

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"respat/internal/faults"
+	"respat/internal/multilevel"
+	"respat/internal/stats"
+)
+
+// Stream identifiers for the multilevel executor's deterministic
+// per-run seed derivation (independent of the single-level streams:
+// the two simulators never share a Config).
+const (
+	mlStreamFail = iota
+	mlStreamSilent
+	mlStreamDetect
+	mlStreamLevel
+	numMLStreams
+)
+
+// MultilevelConfig parameterises a multilevel Monte-Carlo campaign
+// (internal/multilevel): patterns with L checkpoint levels, level-aware
+// fail-stop rollback and the paper's silent-error verifications.
+type MultilevelConfig struct {
+	Params multilevel.Params
+	Spec   multilevel.Spec
+	// Patterns is the number of pattern instances per run.
+	Patterns int
+	// Runs is the number of independent Monte-Carlo repetitions.
+	Runs int
+	// Seed makes the campaign reproducible; as in Config, runs are
+	// seeded independently of scheduling.
+	Seed uint64
+	// Workers bounds the number of parallel simulation goroutines;
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// MultilevelCounters tallies the events of a multilevel campaign.
+type MultilevelCounters struct {
+	FailStop   int64 // fail-stop errors injected
+	Silent     int64 // silent errors injected
+	PartVerifs int64 // completed interior verifications
+	GuarVerifs int64 // completed guaranteed verifications
+	// DetectByPart and DetectByGuar split detected corruptions by the
+	// verification class that caught them.
+	DetectByPart int64
+	DetectByGuar int64
+	// SilentRecs counts rollbacks to the level-1 checkpoint after a
+	// verification alarm.
+	SilentRecs int64
+	// Ckpts[l] counts committed level-(l+1) checkpoints; Recs[l] counts
+	// recoveries from a level-(l+1) fail-stop error.
+	Ckpts [multilevel.MaxLevels]int64
+	Recs  [multilevel.MaxLevels]int64
+}
+
+func (c *MultilevelCounters) add(o MultilevelCounters) {
+	c.FailStop += o.FailStop
+	c.Silent += o.Silent
+	c.PartVerifs += o.PartVerifs
+	c.GuarVerifs += o.GuarVerifs
+	c.DetectByPart += o.DetectByPart
+	c.DetectByGuar += o.DetectByGuar
+	c.SilentRecs += o.SilentRecs
+	for l := range c.Ckpts {
+		c.Ckpts[l] += o.Ckpts[l]
+		c.Recs[l] += o.Recs[l]
+	}
+}
+
+// MultilevelResult aggregates a multilevel campaign.
+type MultilevelResult struct {
+	Runs     int
+	Patterns int
+	// PatternWork is W of the simulated spec.
+	PatternWork float64
+	Overhead    stats.Sample // per-run (time-work)/work
+	WallTime    stats.Sample // per-run total simulated seconds
+	Total       MultilevelCounters
+}
+
+// Validate checks the configuration.
+func (cfg MultilevelConfig) Validate() error {
+	if err := cfg.Params.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Spec.Validate(cfg.Params.L()); err != nil {
+		return err
+	}
+	if cfg.Patterns <= 0 {
+		return fmt.Errorf("sim: Patterns = %d, need > 0", cfg.Patterns)
+	}
+	if cfg.Runs <= 0 {
+		return fmt.Errorf("sim: Runs = %d, need > 0", cfg.Runs)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("sim: Workers = %d, need >= 0", cfg.Workers)
+	}
+	return nil
+}
+
+// RunMultilevel executes a multilevel campaign with the same
+// determinism contract as Run: every random stream derives from
+// (Seed, run) alone, each worker reuses one executor against the
+// campaign-shared layout, and per-run statistics are reduced in run
+// order, so results are bit-identical for any Workers value.
+//
+// The executor realises the model of internal/multilevel: errors
+// strike computations only (the Sections 3-4 assumption the exact
+// evaluator shares); a fail-stop error draws its level from the q
+// shares, pays that level's recovery and rolls execution back to the
+// most recent boundary that wrote a checkpoint at that level or above;
+// a detected silent error pays the level-1 recovery and replays the
+// current level-1 interval.
+func RunMultilevel(cfg MultilevelConfig) (MultilevelResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return MultilevelResult{}, err
+	}
+	layout, err := cfg.Params.Layout(cfg.Spec)
+	if err != nil {
+		return MultilevelResult{}, err
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+
+	work := cfg.Spec.W * float64(cfg.Patterns)
+	overheads := make([]float64, cfg.Runs)
+	walls := make([]float64, cfg.Runs)
+	totals := make([]MultilevelCounters, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex := newMLExecutor(&cfg, &layout)
+			for run := w; run < cfg.Runs; run += workers {
+				ex.reset(run)
+				cnt, elapsed := ex.runAll()
+				overheads[run] = (elapsed - work) / work
+				walls[run] = elapsed
+				totals[w].add(cnt)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := MultilevelResult{Runs: cfg.Runs, Patterns: cfg.Patterns, PatternWork: cfg.Spec.W}
+	for run := range overheads {
+		res.Overhead.Add(overheads[run])
+		res.WallTime.Add(walls[run])
+	}
+	for i := range totals {
+		res.Total.add(totals[i])
+	}
+	return res, nil
+}
+
+// mlExecutor simulates multilevel runs one at a time; one executor is
+// reused across all runs of a worker, reseeded per run by reset.
+type mlExecutor struct {
+	cfg    *MultilevelConfig
+	layout *multilevel.Layout
+	fail   process
+	silent process
+	detect *faults.Bernoulli
+	level  *faults.Bernoulli // uniform stream behind the level draw
+
+	now       float64
+	corrupted bool
+	cnt       MultilevelCounters
+
+	failExp   *faults.Exponential
+	failPCG   *rand.PCG
+	silentExp *faults.Exponential
+	silentPCG *rand.PCG
+	detectPCG *rand.PCG
+	levelPCG  *rand.PCG
+}
+
+func newMLExecutor(cfg *MultilevelConfig, layout *multilevel.Layout) *mlExecutor {
+	e := &mlExecutor{cfg: cfg, layout: layout}
+	// Rates were validated by cfg.Validate, so construction cannot fail.
+	e.failPCG = rand.NewPCG(0, 0)
+	e.failExp = &faults.Exponential{Lambda: cfg.Params.Rates.FailStop, Rng: rand.New(e.failPCG)}
+	e.silentPCG = rand.NewPCG(0, 0)
+	e.silentExp = &faults.Exponential{Lambda: cfg.Params.Rates.Silent, Rng: rand.New(e.silentPCG)}
+	e.detectPCG = rand.NewPCG(0, 0)
+	e.detect = &faults.Bernoulli{Rng: rand.New(e.detectPCG)}
+	e.levelPCG = rand.NewPCG(0, 0)
+	e.level = &faults.Bernoulli{Rng: rand.New(e.levelPCG)}
+	return e
+}
+
+// reset prepares the executor for one run; every stream depends only
+// on (cfg.Seed, run).
+func (e *mlExecutor) reset(run int) {
+	s1, s2 := faults.SplitSeed(e.cfg.Seed, uint64(run)*numMLStreams+mlStreamFail)
+	e.failPCG.Seed(s1, s2)
+	s1, s2 = faults.SplitSeed(e.cfg.Seed, uint64(run)*numMLStreams+mlStreamSilent)
+	e.silentPCG.Seed(s1, s2)
+	s1, s2 = faults.SplitSeed(e.cfg.Seed, uint64(run)*numMLStreams+mlStreamDetect)
+	e.detectPCG.Seed(s1, s2)
+	s1, s2 = faults.SplitSeed(e.cfg.Seed, uint64(run)*numMLStreams+mlStreamLevel)
+	e.levelPCG.Seed(s1, s2)
+	e.fail = newProcess(e.failExp)
+	e.silent = newProcess(e.silentExp)
+	e.now = 0
+	e.corrupted = false
+	e.cnt = MultilevelCounters{}
+}
+
+func (e *mlExecutor) runAll() (MultilevelCounters, float64) {
+	for p := 0; p < e.cfg.Patterns; p++ {
+		e.runPattern()
+	}
+	return e.cnt, e.now
+}
+
+// runPattern executes one pattern instance: n_1 level-1 intervals,
+// each of m chunks, with level-aware rollback.
+func (e *mlExecutor) runPattern() {
+	p := &e.cfg.Params
+	n1 := e.layout.Spec.Counts[0]
+	t := 0
+	for t < n1 {
+		if lvl, ok := e.runInterval(); !ok {
+			// Fail-stop of level lvl: pay its recovery, resume from the
+			// most recent level-≥lvl boundary. The restored state was
+			// verified before it was checkpointed, so no corruption
+			// survives the rollback.
+			e.now += p.Levels[lvl-1].Rec
+			e.cnt.Recs[lvl-1]++
+			e.corrupted = false
+			t = e.layout.RollbackTo(lvl, t)
+			continue
+		}
+		// Clean guaranteed verification: commit the boundary's
+		// checkpoint stack.
+		for l := 1; l <= e.layout.BoundaryLevel(t); l++ {
+			e.now += p.Levels[l-1].Ckpt
+			e.cnt.Ckpts[l-1]++
+		}
+		t++
+	}
+}
+
+// runInterval executes one level-1 interval until it passes its
+// closing guaranteed verification. It returns ok=false with the error
+// level when a fail-stop interrupts it; detected silent errors are
+// handled internally (level-1 rollback and retry).
+func (e *mlExecutor) runInterval() (level int, ok bool) {
+	p := &e.cfg.Params
+	m := len(e.layout.Chunks)
+	for {
+		j := 0
+		for j < m {
+			if !e.chunk(e.layout.Chunks[j]) {
+				return p.PickLevel(e.level.Rng.Float64()), false
+			}
+			if j < m-1 {
+				// Interior verification.
+				e.now += e.layout.InteriorCost
+				e.cnt.PartVerifs++
+				if e.corrupted && e.detect.Hit(e.layout.InteriorRecall) {
+					e.cnt.DetectByPart++
+					e.silentRollback()
+					j = 0
+					continue
+				}
+			}
+			j++
+		}
+		// Closing guaranteed verification: detection is certain.
+		e.now += p.GuarVer
+		e.cnt.GuarVerifs++
+		if !e.corrupted {
+			return 0, true
+		}
+		e.cnt.DetectByGuar++
+		e.silentRollback()
+	}
+}
+
+// silentRollback restores the level-1 checkpoint after a verification
+// alarm.
+func (e *mlExecutor) silentRollback() {
+	e.now += e.cfg.Params.Levels[0].Rec
+	e.cnt.SilentRecs++
+	e.corrupted = false
+}
+
+// chunk executes w seconds of computation exposed to both error
+// processes; it reports false when a fail-stop interrupts it.
+func (e *mlExecutor) chunk(w float64) bool {
+	remaining := w
+	for remaining > 0 {
+		fdt, fHit := e.fail.within(remaining)
+		sdt, sHit := e.silent.within(remaining)
+		if sHit && (!fHit || sdt <= fdt) {
+			e.silent.consume()
+			e.fail.advance(sdt)
+			e.now += sdt
+			remaining -= sdt
+			e.corrupted = true
+			e.cnt.Silent++
+			continue
+		}
+		if fHit {
+			e.fail.consume()
+			e.silent.advance(fdt)
+			e.now += fdt
+			e.cnt.FailStop++
+			return false
+		}
+		e.fail.advance(remaining)
+		e.silent.advance(remaining)
+		e.now += remaining
+		remaining = 0
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"respat/internal/core"
+	"respat/internal/multilevel"
+)
+
+// mlGrid is the seeded parameter grid shared by the cross-validation
+// and invariant tests: one configuration per hierarchy depth.
+func mlGrid() []MultilevelConfig {
+	return []MultilevelConfig{
+		{
+			Params: multilevel.Params{
+				Levels:  []multilevel.Level{{Ckpt: 120, Rec: 150, Share: 1}},
+				GuarVer: 10, PartVer: 1, Recall: 0.8,
+				Rates: core.Rates{FailStop: 3e-5, Silent: 6e-5},
+			},
+			Spec:     multilevel.UniformSpec(2400, nil, 3),
+			Patterns: 40, Runs: 600, Seed: 11,
+		},
+		{
+			Params: multilevel.Params{
+				Levels: []multilevel.Level{
+					{Ckpt: 10, Rec: 12, Share: 0.6},
+					{Ckpt: 120, Rec: 150, Share: 0.4},
+				},
+				GuarVer: 8, PartVer: 0.5, Recall: 0.8,
+				Rates: core.Rates{FailStop: 5e-5, Silent: 8e-5},
+			},
+			Spec:     multilevel.UniformSpec(4800, []int{4}, 2),
+			Patterns: 40, Runs: 600, Seed: 12,
+		},
+		{
+			Params: multilevel.Params{
+				Levels: []multilevel.Level{
+					{Ckpt: 5, Rec: 6, Share: 0.5},
+					{Ckpt: 30, Rec: 40, Share: 0.3},
+					{Ckpt: 200, Rec: 260, Share: 0.2},
+				},
+				GuarVer: 6, PartVer: 0.4, Recall: 0.7,
+				Rates: core.Rates{FailStop: 4e-5, Silent: 5e-5},
+			},
+			Spec:     multilevel.UniformSpec(7200, []int{3, 2}, 2),
+			Patterns: 30, Runs: 600, Seed: 13,
+		},
+	}
+}
+
+// TestMultilevelCrossValidation: on the seeded grid the Monte-Carlo
+// overhead agrees with the exact renewal-recursion evaluator within
+// the campaign's 95% confidence half-width — the same evaluator-vs-
+// simulator contract the single-level model carries.
+func TestMultilevelCrossValidation(t *testing.T) {
+	for i, cfg := range mlGrid() {
+		ev, err := multilevel.NewEvaluator(cfg.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted, err := ev.Overhead(cfg.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunMultilevel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ci := res.Overhead.Mean(), res.Overhead.CI95()
+		if math.Abs(got-predicted) > ci {
+			t.Errorf("grid cell %d (L=%d): simulated overhead %.6f vs exact %.6f, |diff| %.2e > CI95 %.2e",
+				i, cfg.Params.L(), got, predicted, math.Abs(got-predicted), ci)
+		}
+	}
+}
+
+// TestMultilevelDeterministicAcrossWorkers: results are bit-identical
+// for any Workers value (the Run contract, inherited by RunMultilevel).
+func TestMultilevelDeterministicAcrossWorkers(t *testing.T) {
+	cfg := mlGrid()[2]
+	cfg.Runs = 64
+	var ref MultilevelResult
+	for i, workers := range []int{1, 3, 8} {
+		cfg.Workers = workers
+		res, err := RunMultilevel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.Overhead != ref.Overhead || res.WallTime != ref.WallTime {
+			t.Errorf("Workers=%d: overhead/wall samples differ from Workers=1", workers)
+		}
+		if res.Total != ref.Total {
+			t.Errorf("Workers=%d: counters differ from Workers=1: %+v vs %+v", workers, res.Total, ref.Total)
+		}
+	}
+}
+
+// TestMultilevelInvariants: conservation laws of the multilevel
+// executor on the whole grid.
+func TestMultilevelInvariants(t *testing.T) {
+	for i, cfg := range mlGrid() {
+		cfg.Runs = 80
+		res, err := RunMultilevel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		L := cfg.Params.L()
+		instances := int64(res.Runs) * int64(res.Patterns)
+		// Every pattern commits exactly one top-level checkpoint.
+		if res.Total.Ckpts[L-1] != instances {
+			t.Errorf("cell %d: top-level checkpoints %d != instances %d", i, res.Total.Ckpts[L-1], instances)
+		}
+		// Lower levels checkpoint at least as often as higher levels.
+		for l := 0; l+1 < L; l++ {
+			if res.Total.Ckpts[l] < res.Total.Ckpts[l+1] {
+				t.Errorf("cell %d: level-%d checkpoints %d below level-%d's %d",
+					i, l+1, res.Total.Ckpts[l], l+2, res.Total.Ckpts[l+1])
+			}
+		}
+		// No recoveries outside the hierarchy, and recoveries match the
+		// injected fail-stop count.
+		var recs int64
+		for l := 0; l < multilevel.MaxLevels; l++ {
+			if l >= L && (res.Total.Recs[l] != 0 || res.Total.Ckpts[l] != 0) {
+				t.Errorf("cell %d: events at level %d beyond the %d-level hierarchy", i, l+1, L)
+			}
+			recs += res.Total.Recs[l]
+		}
+		if recs != res.Total.FailStop {
+			t.Errorf("cell %d: %d fail-stop recoveries for %d fail-stop errors", i, recs, res.Total.FailStop)
+		}
+		// Every detection triggers exactly one level-1 rollback, and
+		// detections cannot exceed injections.
+		det := res.Total.DetectByPart + res.Total.DetectByGuar
+		if det != res.Total.SilentRecs {
+			t.Errorf("cell %d: detections %d != silent rollbacks %d", i, det, res.Total.SilentRecs)
+		}
+		if det > res.Total.Silent {
+			t.Errorf("cell %d: detections %d exceed injected silent errors %d", i, det, res.Total.Silent)
+		}
+	}
+}

@@ -135,6 +135,59 @@ func Optimize(p Params) (Plan, error) {
 	return Plan{W: w, N: bestN, Overhead: h}, nil
 }
 
+// Comparison sets the optimised two-level protocol against the
+// single-level disk-only baseline on a rate-matched configuration —
+// the executable form of the Section 4.1 remark: how much does the
+// cheap local level buy once both protocols are optimised under the
+// same exact model?
+type Comparison struct {
+	// TwoLevel is the optimised two-level plan.
+	TwoLevel Plan
+	// SingleLevel is the optimised disk-only plan (n = 1, no local
+	// checkpoints, every error pays the disk recovery), evaluated
+	// under the same exact renewal recursion.
+	SingleLevel Plan
+	// Gain is the relative overhead reduction,
+	// 1 - TwoLevel.Overhead/SingleLevel.Overhead.
+	Gain float64
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("two-level H*=%.4f vs single-level H*=%.4f (gain %.1f%%)",
+		c.TwoLevel.Overhead, c.SingleLevel.Overhead, 100*c.Gain)
+}
+
+// Compare optimises the two-level protocol and its disk-only
+// degeneration (local share 0, zero-cost local level, n = 1) for the
+// same error rate and reports the gain of the local level.
+func Compare(p Params) (Comparison, error) {
+	two, err := Optimize(p)
+	if err != nil {
+		return Comparison{}, err
+	}
+	// The disk-only baseline is the protocol with the local level
+	// stripped: all errors are global and only the interval count n = 1
+	// makes sense (extra zero-cost local checkpoints change nothing).
+	base := Params{Lambda: p.Lambda, LocalShare: 0, DiskCkpt: p.DiskCkpt, DiskRec: p.DiskRec}
+	scale := math.Sqrt(2 * math.Max(base.DiskCkpt, 1e-6) / base.Lambda)
+	w, h := xmath.MinimizeGolden(func(w float64) float64 {
+		e, err := ExpectedTime(base, w, 1)
+		if err != nil || math.IsInf(e, 1) {
+			return math.Inf(1)
+		}
+		return e/w - 1
+	}, scale/100, scale*100, 1e-10)
+	if math.IsInf(h, 1) || math.IsNaN(h) {
+		return Comparison{}, fmt.Errorf("twolevel: single-level baseline diverged")
+	}
+	cmp := Comparison{TwoLevel: two, SingleLevel: Plan{W: w, N: 1, Overhead: h}}
+	if h > 0 {
+		cmp.Gain = 1 - two.Overhead/h
+	}
+	return cmp, nil
+}
+
 // SimResult aggregates the Monte-Carlo validation.
 type SimResult struct {
 	Time       stats.Sample // per-run total

@@ -7,6 +7,43 @@ import (
 	"respat/internal/xmath"
 )
 
+// TestCompareGain: with a large local share and a cheap local level
+// the two-level protocol strictly beats the rate-matched disk-only
+// baseline, and the baseline matches the protocol's own n=1,
+// share-0 degeneration.
+func TestCompareGain(t *testing.T) {
+	p := Params{
+		Lambda: 9.46e-6, LocalShare: 0.8,
+		LocalCkpt: 15.4, DiskCkpt: 300, LocalRec: 15.4, DiskRec: 300,
+	}
+	cmp, err := Compare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TwoLevel.Overhead >= cmp.SingleLevel.Overhead {
+		t.Errorf("two-level %.4f not below disk-only %.4f", cmp.TwoLevel.Overhead, cmp.SingleLevel.Overhead)
+	}
+	if cmp.Gain <= 0 || cmp.Gain >= 1 {
+		t.Errorf("gain %v outside (0,1)", cmp.Gain)
+	}
+	// The baseline overhead is the exact n=1 disk-only evaluation at
+	// its own optimum: re-evaluating at W* must reproduce it.
+	base := Params{Lambda: p.Lambda, DiskCkpt: p.DiskCkpt, DiskRec: p.DiskRec}
+	e, err := ExpectedTime(base, cmp.SingleLevel.W, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := e/cmp.SingleLevel.W - 1; h != cmp.SingleLevel.Overhead {
+		t.Errorf("baseline overhead %v not reproduced by ExpectedTime (%v)", cmp.SingleLevel.Overhead, h)
+	}
+	if cmp.String() == "" {
+		t.Error("empty String")
+	}
+	if _, err := Compare(Params{Lambda: 0, DiskCkpt: 300}); err == nil {
+		t.Error("zero-rate comparison should fail")
+	}
+}
+
 func params() Params {
 	return Params{
 		Lambda:     1e-4,

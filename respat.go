@@ -24,6 +24,13 @@
 //     drifting error rates and swaps plans when the incumbent's
 //     predicted regret exceeds a threshold (internal/adapt).
 //
+// Beyond the paper's single-level patterns, OptimalMultilevel /
+// SimulateMultilevel / ProtectMultilevel plan, validate and execute
+// patterns with a hierarchy of checkpoint levels combined with the
+// silent-error verifications (internal/multilevel); CompareTwoLevel
+// exposes the Section 4.1 two-level fail-stop comparator the
+// multilevel model degenerates to.
+//
 // Lower-level capabilities (exact expected-time evaluation, exact-model
 // planning, placement ablations, platform data) live in the internal
 // packages and are re-exported here where downstream users need them.
@@ -34,10 +41,12 @@ import (
 	"respat/internal/analytic"
 	"respat/internal/core"
 	"respat/internal/engine"
+	"respat/internal/multilevel"
 	"respat/internal/optimize"
 	"respat/internal/platform"
 	"respat/internal/service"
 	"respat/internal/sim"
+	"respat/internal/twolevel"
 )
 
 // Core model types.
@@ -137,6 +146,9 @@ type (
 	Verifier = engine.Verifier
 	// VerifierFunc adapts a function to Verifier.
 	VerifierFunc = engine.VerifierFunc
+	// WorkFunc adapts a stateless function to Application
+	// (measurement-only workloads).
+	WorkFunc = engine.WorkFunc
 	// EngineConfig assembles an engine run.
 	EngineConfig = engine.Config
 	// EngineReport summarises an engine run.
@@ -198,6 +210,103 @@ type (
 // NewService builds a planning service. Service.Handler() returns its
 // HTTP API (see cmd/respatd for the endpoint list).
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// Multilevel re-exports: patterns with a hierarchy of checkpoint
+// levels combined with the paper's silent-error verifications
+// (internal/multilevel) — the composition the Section 4.1 remark
+// contrasts the single-level patterns against.
+type (
+	// MultilevelParams describes the hierarchy (per-level C_l/R_l and
+	// fail-stop shares q_l), the verification costs and the rates.
+	MultilevelParams = multilevel.Params
+	// MultilevelLevel is one checkpoint level of the hierarchy.
+	MultilevelLevel = multilevel.Level
+	// MultilevelSpec is one concrete multilevel pattern
+	// (W, n_1..n_L, m).
+	MultilevelSpec = multilevel.Spec
+	// MultilevelPlan is an optimised multilevel pattern.
+	MultilevelPlan = multilevel.Plan
+	// MultilevelEvaluator is the reusable exact expected-time evaluator
+	// of the multilevel model.
+	MultilevelEvaluator = multilevel.Evaluator
+	// MultilevelSimConfig parameterises a multilevel Monte-Carlo
+	// campaign.
+	MultilevelSimConfig = sim.MultilevelConfig
+	// MultilevelSimResult aggregates a multilevel campaign.
+	MultilevelSimResult = sim.MultilevelResult
+	// MultilevelEngineConfig assembles a multilevel runtime run
+	// (per-level storage, level-aware rollback, Boundary swap hook).
+	MultilevelEngineConfig = multilevel.EngineConfig
+	// MultilevelReport summarises a multilevel runtime run.
+	MultilevelReport = multilevel.Report
+)
+
+// OptimalMultilevel returns the plan minimising the exact expected
+// overhead of the multilevel model over the pattern length, the
+// per-level interval counts and the chunk count.
+func OptimalMultilevel(p MultilevelParams) (MultilevelPlan, error) {
+	return multilevel.Optimize(p)
+}
+
+// MultilevelFromPlatform derives a multilevel configuration with the
+// given hierarchy depth from a Table 2 platform (geometric cost
+// interpolation between the memory and disk tiers, Di et al.-style
+// fail-stop locality shares).
+func MultilevelFromPlatform(p Platform, levels int) (MultilevelParams, error) {
+	return multilevel.FromPlatform(p, levels)
+}
+
+// MultilevelExpectedTime evaluates the exact expected execution time
+// of a multilevel pattern; use NewMultilevelEvaluator in planning
+// loops.
+func MultilevelExpectedTime(p MultilevelParams, s MultilevelSpec) (float64, error) {
+	return multilevel.ExpectedTime(p, s)
+}
+
+// NewMultilevelEvaluator validates the configuration once and returns
+// an evaluator bound to it; not safe for concurrent use.
+func NewMultilevelEvaluator(p MultilevelParams) (*MultilevelEvaluator, error) {
+	return multilevel.NewEvaluator(p)
+}
+
+// SimulateMultilevel runs a Monte-Carlo campaign validating a
+// multilevel pattern (per-level exposure rollback, deterministic for
+// any worker count).
+func SimulateMultilevel(cfg MultilevelSimConfig) (MultilevelSimResult, error) {
+	return sim.RunMultilevel(cfg)
+}
+
+// ProtectMultilevel executes a real application under a multilevel
+// pattern with per-level checkpoints, verification and level-aware
+// recovery; the Boundary hook is the plan-swap point for adaptive
+// loops.
+func ProtectMultilevel(cfg MultilevelEngineConfig) (MultilevelReport, error) {
+	return multilevel.RunEngine(cfg)
+}
+
+// Two-level comparator re-exports (internal/twolevel): the classic
+// two-level fail-stop protocol of the Section 4.1 remark, exposed so
+// the paper's structural comparison is runnable from the facade and
+// cmd/respat -mode twolevel.
+type (
+	// TwoLevelParams describes the two-level fail-stop protocol
+	// (rate, local share, local/disk checkpoint and recovery costs).
+	TwoLevelParams = twolevel.Params
+	// TwoLevelPlan is the numerically optimised two-level plan.
+	TwoLevelPlan = twolevel.Plan
+	// TwoLevelComparison sets the two-level optimum against the
+	// rate-matched single-level disk-only baseline.
+	TwoLevelComparison = twolevel.Comparison
+)
+
+// CompareTwoLevel optimises the two-level fail-stop protocol and its
+// disk-only degeneration for the same error rate and reports the gain
+// of the local level. The multilevel evaluator reproduces these
+// numbers at L = 2 with a zero silent-error rate (asserted in
+// internal/multilevel).
+func CompareTwoLevel(p TwoLevelParams) (TwoLevelComparison, error) {
+	return twolevel.Compare(p)
+}
 
 // Platforms returns the four Table 2 platforms (Hera, Atlas, Coastal,
 // Coastal-SSD) with the paper's simulation default costs.

@@ -37,6 +37,70 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeMultilevel walks the multilevel surface end to end: derive
+// a hierarchy from a platform, plan it, validate the plan by
+// simulation and execute a protected run under it.
+func TestFacadeMultilevel(t *testing.T) {
+	hera, err := respat.PlatformByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := respat.MultilevelFromPlatform(hera, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := respat.OptimalMultilevel(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Spec.W <= 0 || plan.Overhead <= 0 || len(plan.Spec.Counts) != 2 {
+		t.Fatalf("implausible plan: %+v", plan)
+	}
+	e, err := respat.MultilevelExpectedTime(params, plan.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := e/plan.Spec.W - 1; math.Abs(h-plan.Overhead) > 1e-12 {
+		t.Errorf("evaluator overhead %v vs plan %v", h, plan.Overhead)
+	}
+	res, err := respat.SimulateMultilevel(respat.MultilevelSimConfig{
+		Params: params, Spec: plan.Spec,
+		Patterns: 30, Runs: 60, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Overhead.Mean()-plan.Overhead) > 0.02 {
+		t.Errorf("simulated %v vs predicted %v", res.Overhead.Mean(), plan.Overhead)
+	}
+	rep, err := respat.ProtectMultilevel(respat.MultilevelEngineConfig{
+		App:      respat.WorkFunc(func(float64) error { return nil }),
+		Params:   params,
+		Spec:     plan.Spec,
+		Patterns: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Work != 2*plan.Spec.W {
+		t.Errorf("protected work %v, want %v", rep.Work, 2*plan.Spec.W)
+	}
+}
+
+// TestFacadeCompareTwoLevel exercises the de-orphaned §4.1 comparator.
+func TestFacadeCompareTwoLevel(t *testing.T) {
+	cmp, err := respat.CompareTwoLevel(respat.TwoLevelParams{
+		Lambda: 9.46e-6, LocalShare: 0.8,
+		LocalCkpt: 15.4, DiskCkpt: 300, LocalRec: 15.4, DiskRec: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Gain <= 0 {
+		t.Errorf("expected a positive local-level gain, got %v", cmp.Gain)
+	}
+}
+
 func TestFacadeKinds(t *testing.T) {
 	ks := respat.Kinds()
 	if len(ks) != 6 || ks[0] != respat.PD || ks[5] != respat.PDMV {

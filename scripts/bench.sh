@@ -1,6 +1,11 @@
 #!/bin/sh
 # bench.sh — snapshot the repository benchmarks as a JSON file so future
-# PRs can track the perf trajectory (see DESIGN.md §4).
+# PRs can track the perf trajectory (see DESIGN.md §4). The snapshot
+# covers every benchmark in bench_test.go, including the multilevel
+# planner (BenchmarkMultilevelPlan) and the service hot paths
+# (BenchmarkServicePlanHot / BenchmarkServiceMultilevelHot), and fails
+# if a service cache hit reports any allocations — the PR 2 0-alloc
+# contract, extended to the multilevel endpoint.
 #
 # Usage: scripts/bench.sh [outdir] [benchtime]
 #   outdir    where to write BENCH_<date>.json (default: .)
@@ -39,5 +44,16 @@ BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {\n
 }
 END { printf "\n  }\n}\n" }
 ' "$raw" > "$out"
+
+# 0-alloc gate: a service plan-cache hit (single-level or multilevel)
+# must report 0 allocs/op in the snapshot it just emitted.
+if awk '/^BenchmarkService(Plan|Multilevel)Hot/ {
+        for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op" && $i + 0 > 0) bad = 1
+    } END { exit bad }' "$raw"; then
+    :
+else
+    echo "bench.sh: service cache-hit path allocates (see above); 0 allocs/op required" >&2
+    exit 1
+fi
 
 echo "wrote $out"
