@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"respat"
 	"respat/internal/analytic"
@@ -171,5 +172,17 @@ func runMultilevel(platName string, levels, campaignWorkers int) error {
 	if err != nil {
 		return err
 	}
-	return harness.RenderMultilevelStudy(rows).Render(os.Stdout)
+	if err := harness.RenderMultilevelStudy(rows).Render(os.Stdout); err != nil {
+		return err
+	}
+	// Planner observability: one line per cell, so the cold-path perf
+	// claims (candidates pruned, leaves searched, wall time) can be
+	// checked without a profiler.
+	for _, row := range rows {
+		st := row.PlanStats
+		fmt.Printf("planner %s L=%d: %v (candidates=%d pruned=%d screened=%d evaluated=%d leaves=%d workers=%d fallback=%v)\n",
+			row.Platform, row.Levels, row.PlanTime.Round(10*time.Microsecond),
+			st.Candidates, st.Pruned, st.Screened, st.Evaluated, st.Leaves, st.Workers, st.Fallback)
+	}
+	return nil
 }

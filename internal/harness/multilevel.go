@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"respat/internal/multilevel"
 	"respat/internal/platform"
@@ -25,6 +26,11 @@ type MultilevelRow struct {
 	// full top-level recoveries.
 	LocalRecsPerDay float64
 	TopRecsPerDay   float64
+	// PlanTime and PlanStats record how the planner earned the row —
+	// wall time and candidate/pruned/evaluated counts — so perf claims
+	// about the cold path are observable without a profiler.
+	PlanTime  time.Duration
+	PlanStats multilevel.SearchStats
 }
 
 // MultilevelStudy runs the hierarchy-depth figure: for each platform
@@ -49,7 +55,13 @@ func MultilevelStudy(platforms []platform.Platform, depths []int, o Options) ([]
 		if err != nil {
 			return MultilevelRow{}, fmt.Errorf("harness: %s/L=%d: %w", cs.p.Name, cs.l, err)
 		}
-		plan, err := multilevel.Optimize(params)
+		planner, err := multilevel.NewPlanner(params)
+		if err != nil {
+			return MultilevelRow{}, fmt.Errorf("harness: %s/L=%d: %w", cs.p.Name, cs.l, err)
+		}
+		start := time.Now()
+		plan, err := planner.Plan()
+		planTime := time.Since(start)
 		if err != nil {
 			return MultilevelRow{}, fmt.Errorf("harness: %s/L=%d: %w", cs.p.Name, cs.l, err)
 		}
@@ -71,6 +83,8 @@ func MultilevelStudy(platforms []platform.Platform, depths []int, o Options) ([]
 			Predicted: plan.Overhead,
 			Simulated: res.Overhead.Mean(),
 			SimCI95:   res.Overhead.CI95(),
+			PlanTime:  planTime,
+			PlanStats: planner.Stats(),
 		}
 		var local, top int64
 		for l := 0; l < cs.l; l++ {

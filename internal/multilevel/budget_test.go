@@ -1,0 +1,62 @@
+package multilevel
+
+import (
+	"testing"
+	"time"
+
+	"respat/internal/platform"
+)
+
+// Budgets for one cold Hera L=3 plan — the BenchmarkMultilevelPlan
+// configuration. The overhauled planner measures ~2.4ms and ~135
+// allocs on a 1-core CI runner; the pre-overhaul one measured 33.8ms
+// and ~84k allocs. The budgets sit far above the former and far below
+// the latter, so the test is insensitive to runner noise but fails
+// loudly if the cold path regresses toward the old behaviour. The
+// bench gate in scripts/bench.sh enforces the tighter release targets
+// (5ms, 1000 allocs).
+const (
+	coldPlanAllocBudget = 1000
+	coldPlanTimeBudget  = 25 * time.Millisecond
+)
+
+// TestMultilevelPlanBudget is the CI guard on the cold-plan overhaul:
+// a cold multilevel plan must stay within the latency and allocation
+// budgets between bench snapshots.
+func TestMultilevelPlanBudget(t *testing.T) {
+	pl, err := platform.ByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromPlatform(pl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(p); err != nil { // warm the code paths once
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Optimize(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > coldPlanAllocBudget {
+		t.Errorf("cold multilevel plan: %.0f allocs, budget %d", allocs, coldPlanAllocBudget)
+	}
+
+	// Latency: best of 3, so a single scheduler hiccup cannot fail CI.
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := Optimize(p); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	if best > coldPlanTimeBudget {
+		t.Errorf("cold multilevel plan: %v, budget %v", best, coldPlanTimeBudget)
+	}
+}

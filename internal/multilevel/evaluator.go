@@ -8,30 +8,51 @@ import (
 	"respat/internal/xmath"
 )
 
+// maxCachedLayouts bounds the two per-evaluator memo maps (chunk
+// layouts keyed by m, boundary tables keyed by the count vector). A
+// planner run probes a few hundred distinct keys at most; the cap only
+// matters for very long-lived evaluators (the service shards), which
+// simply start over when an adversarial request stream would otherwise
+// grow the maps without bound.
+const maxCachedLayouts = 4096
+
 // Evaluator computes exact expected execution times for one validated
 // Params configuration via a renewal recursion that conditions on
 // which level a fail-stop error destroys. It generalises both exact
 // evaluators already in the repo: at L = 1 it reduces to package
 // analytic's renewal equations (every error recovers from the single
-// level), at L = 2 with λs = 0 to package twolevel's local/global
-// recursion. Per-(m) chunk-layout invariants are cached so planners
-// probing many pattern lengths at a fixed layout pay O(1)
-// transcendental work per probe, the same discipline as
-// analytic.Evaluator.
+// level), at L = 2 with λs = 0 to package twolevel. It is also the
+// planner's memoized probe context: every W-independent invariant of a
+// spec is derived once and cached —
 //
-// An Evaluator is not safe for concurrent use (the layout cache and
-// the per-level replay scratch are mutated); give each goroutine its
-// own.
+//   - per-m chunk-layout invariants (the Theorem 3 fractions and the
+//     interior-verification contract), as in analytic.Evaluator;
+//   - per-(n_1..n_L) boundary tables (which checkpoint levels close
+//     each level-1 interval and which replay sums reset there), so the
+//     renewal recursion runs without a single integer division;
+//   - the per-level cost/share vectors, hoisted out of Params.
+//
+// A planner probing many W values at a fixed (counts, m) layout
+// therefore pays O(1) transcendental work and zero allocations per
+// probe, and re-probing a layout costs two map hits.
+//
+// An Evaluator is not safe for concurrent use (the caches and the
+// per-level replay scratch are mutated); give each goroutine its own.
 type Evaluator struct {
 	p       Params
 	meanRec float64
+	// Hoisted per-level constants: ckpts[l] = C_{l+1}, shares[l] =
+	// q_{l+1}; rec1 = R_1. Values are copied verbatim from p.Levels, so
+	// arithmetic against them is bit-identical to indexing the structs.
+	ckpts  [MaxLevels]float64
+	shares [MaxLevels]float64
+	rec1   float64
+	// back[l] accumulates Σ E_k since the last level-(l+1) boundary,
+	// the replay a level-(l+1) error forces; reused across evaluations
+	// so a planner probe allocates nothing.
+	back    [MaxLevels]float64
 	layouts map[int]*chunkLayout
-	// back[l] accumulates Σ E_k since the last level-(l+1) boundary, the
-	// replay a level-(l+1) error forces; strides is the per-level
-	// boundary stride of the spec under evaluation. Both are reused
-	// across evaluations so a planner probe allocates nothing.
-	back    []float64
-	strides []int
+	tables  map[[MaxLevels]int]*boundaryTable
 }
 
 // chunkLayout caches the W-independent Theorem 3 invariants of one
@@ -43,17 +64,30 @@ type chunkLayout struct {
 	interiorCost      float64
 }
 
+// boundaryTable caches the W- and m-independent boundary structure of
+// one level-count vector n_1..n_L: per level-1 interval t, the number
+// of checkpoint levels written at the boundary closing it and a
+// bitmask of the replay sums that reset there. Both are pure functions
+// of the counts, precomputed so the renewal recursion's inner loop is
+// free of modulo arithmetic (the old per-t boundaryLevel walk was ~20%
+// of planner CPU).
+type boundaryTable struct {
+	n1     int
+	bLevel []uint8 // boundaryLevel(strides, t): # of levels checkpointed after t
+	reset  []uint8 // bit l set ⇒ back[l] resets after interval t
+}
+
 // NewEvaluator validates p once and returns an evaluator bound to it.
 func NewEvaluator(p Params) (*Evaluator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Evaluator{
-		p:       p,
-		meanRec: p.meanRec(),
-		back:    make([]float64, len(p.Levels)),
-		strides: make([]int, len(p.Levels)),
-	}, nil
+	e := &Evaluator{p: p, meanRec: p.meanRec(), rec1: p.Levels[0].Rec}
+	for l, lev := range p.Levels {
+		e.ckpts[l] = lev.Ckpt
+		e.shares[l] = lev.Share
+	}
+	return e, nil
 }
 
 // Params returns the bound configuration.
@@ -74,11 +108,46 @@ func (e *Evaluator) layout(m int) (*chunkLayout, error) {
 		cl.edgeFrac = 1 / den
 		cl.intFrac = recall / den
 	}
-	if e.layouts == nil {
+	if e.layouts == nil || len(e.layouts) >= maxCachedLayouts {
 		e.layouts = make(map[int]*chunkLayout)
 	}
 	e.layouts[m] = cl
 	return cl, nil
+}
+
+// table returns the cached boundary table for a validated count
+// vector.
+func (e *Evaluator) table(counts []int) *boundaryTable {
+	var key [MaxLevels]int
+	copy(key[:], counts)
+	if bt, ok := e.tables[key]; ok {
+		return bt
+	}
+	n1 := counts[0]
+	L := len(counts)
+	bt := &boundaryTable{
+		n1:     n1,
+		bLevel: make([]uint8, n1),
+		reset:  make([]uint8, n1),
+	}
+	for t := 0; t < n1; t++ {
+		level := 1
+		var mask uint8
+		for l := 1; l < L; l++ {
+			stride := n1 / counts[l]
+			if (t+1)%stride == 0 {
+				level = l + 1
+				mask |= 1 << uint(l)
+			}
+		}
+		bt.bLevel[t] = uint8(level)
+		bt.reset[t] = mask
+	}
+	if e.tables == nil || len(e.tables) >= maxCachedLayouts {
+		e.tables = make(map[[MaxLevels]int]*boundaryTable)
+	}
+	e.tables[key] = bt
+	return bt
 }
 
 // attempt holds the per-attempt invariants of one level-1 interval:
@@ -154,6 +223,48 @@ func (e *Evaluator) intervalAttempt(cl *chunkLayout, w1 float64) attempt {
 	return a
 }
 
+// evalSpec is the planner-facing fast path of ExpectedTime: the
+// renewal recursion over a prefetched chunk layout and boundary table,
+// for pattern length w. It performs the floating-point operations of
+// the recursion in exactly the order the pre-table implementation did,
+// so results are bit-identical; the tables only replace the per-t
+// modulo walks with byte lookups.
+func (e *Evaluator) evalSpec(cl *chunkLayout, bt *boundaryTable, w float64) float64 {
+	a := e.intervalAttempt(cl, w/float64(bt.n1))
+	if a.pi <= 0 {
+		return math.Inf(1)
+	}
+	L := len(e.p.Levels)
+	back := &e.back
+	for l := 0; l < L; l++ {
+		back[l] = 0
+	}
+	var total xmath.Accumulator
+	for t := 0; t < bt.n1; t++ {
+		replay := 0.0
+		for l := 1; l < L; l++ { // B_1 = 0: a level-1 error retries in place
+			replay += e.shares[l] * back[l]
+		}
+		et := (a.s0 + a.pfq*replay + a.sdp*e.rec1) / a.pi
+		for l := 0; l < int(bt.bLevel[t]); l++ {
+			et += e.ckpts[l]
+		}
+		if math.IsNaN(et) || math.IsInf(et, 1) {
+			return math.Inf(1)
+		}
+		total.Add(et)
+		rm := bt.reset[t]
+		for l := 1; l < L; l++ {
+			if rm&(1<<uint(l)) != 0 {
+				back[l] = 0
+			} else {
+				back[l] += et
+			}
+		}
+	}
+	return total.Value()
+}
+
 // ExpectedTime returns the exact expected execution time E(P) of spec
 // s under the renewal recursion. For level-1 interval t (all earlier
 // intervals committed), with Π the zero-error attempt probability:
@@ -175,43 +286,7 @@ func (e *Evaluator) ExpectedTime(s Spec) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	n1 := s.Counts[0]
-	a := e.intervalAttempt(cl, s.W/float64(n1))
-	if a.pi <= 0 {
-		return math.Inf(1), nil
-	}
-	strides := e.strides
-	for l := range strides {
-		strides[l] = s.Counts[0] / s.Counts[l]
-	}
-	L := len(e.p.Levels)
-	back := e.back
-	for l := range back {
-		back[l] = 0
-	}
-	var total xmath.Accumulator
-	for t := 0; t < n1; t++ {
-		replay := 0.0
-		for l := 1; l < L; l++ { // B_1 = 0: a level-1 error retries in place
-			replay += e.p.Levels[l].Share * back[l]
-		}
-		et := (a.s0 + a.pfq*replay + a.sdp*e.p.Levels[0].Rec) / a.pi
-		for l := 0; l <= boundaryLevel(strides, t)-1; l++ {
-			et += e.p.Levels[l].Ckpt
-		}
-		if math.IsNaN(et) || math.IsInf(et, 1) {
-			return math.Inf(1), nil
-		}
-		total.Add(et)
-		for l := 1; l < L; l++ {
-			if (t+1)%strides[l] == 0 {
-				back[l] = 0
-			} else {
-				back[l] += et
-			}
-		}
-	}
-	return total.Value(), nil
+	return e.evalSpec(cl, e.table(s.Counts), s.W), nil
 }
 
 // Overhead returns the exact expected overhead E(P)/W - 1 of spec s,

@@ -1,0 +1,166 @@
+package multilevel
+
+import (
+	"math"
+	"testing"
+
+	"respat/internal/platform"
+)
+
+// plannerGolden pins the planner's output bits across the Table 2
+// platforms and L ∈ {1,2,3}. The W and H columns are the exact
+// IEEE-754 bit patterns the pre-overhaul sequential nested convex
+// search produced (captured at commit 62df4f4's planner before the
+// pruned parallel search landed), so this table is the contract that
+// the overhaul changed how the optimum is found, not what it is.
+var plannerGolden = []struct {
+	platform string
+	levels   int
+	counts   []int
+	m        int
+	wBits    uint64
+	hBits    uint64
+}{
+	{"Hera", 1, []int{1}, 48, 0x40c726a42ac92028, 0x3fac4ea4e1213fa0},
+	{"Hera", 2, []int{9, 1}, 16, 0x40e139f760a87ef7, 0x3fa162b2e60bcfe0},
+	{"Hera", 3, []int{12, 2, 1}, 16, 0x40e77761c7b34ff3, 0x3fa1c26447f1e8e0},
+	{"Atlas", 1, []int{1}, 80, 0x40c3aeb5b720abf4, 0x3fb7c07c13a08070},
+	{"Atlas", 2, []int{27, 1}, 17, 0x40ebcda7b8fbad44, 0x3fa175649a9c54e0},
+	{"Atlas", 3, []int{39, 3, 1}, 17, 0x40f434dc6eb29f28, 0x3fa1439363edc4e0},
+	{"Coastal", 1, []int{1}, 167, 0x40dc2ec24b718437, 0x3fb34af8a6728e40},
+	{"Coastal", 2, []int{36, 1}, 16, 0x40f8b43939d88166, 0x3f9c6f6b69070900},
+	{"Coastal", 3, []int{52, 4, 1}, 16, 0x4101a29576f06b68, 0x3f99f9739f6954c0},
+	{"Coastal-SSD", 1, []int{1}, 41, 0x40e61474778e5fd6, 0x3fc015313c47eeb0},
+	{"Coastal-SSD", 2, []int{9, 1}, 16, 0x4102f6722cd20d81, 0x3fb3c582ec4008b0},
+	{"Coastal-SSD", 3, []int{12, 2, 1}, 16, 0x410a0a45fa3702ea, 0x3fb45fb1c7a19050},
+}
+
+func samePlan(t *testing.T, label string, got, want Plan) {
+	t.Helper()
+	if len(got.Spec.Counts) != len(want.Spec.Counts) {
+		t.Fatalf("%s: counts %v, want %v", label, got.Spec.Counts, want.Spec.Counts)
+	}
+	for l := range want.Spec.Counts {
+		if got.Spec.Counts[l] != want.Spec.Counts[l] {
+			t.Fatalf("%s: counts %v, want %v", label, got.Spec.Counts, want.Spec.Counts)
+		}
+	}
+	if got.Spec.M != want.Spec.M {
+		t.Fatalf("%s: m = %d, want %d", label, got.Spec.M, want.Spec.M)
+	}
+	if math.Float64bits(got.Spec.W) != math.Float64bits(want.Spec.W) {
+		t.Fatalf("%s: W = %v (bits %x), want %v (bits %x)",
+			label, got.Spec.W, math.Float64bits(got.Spec.W),
+			want.Spec.W, math.Float64bits(want.Spec.W))
+	}
+	if math.Float64bits(got.Overhead) != math.Float64bits(want.Overhead) {
+		t.Fatalf("%s: H = %v (bits %x), want %v (bits %x)",
+			label, got.Overhead, math.Float64bits(got.Overhead),
+			want.Overhead, math.Float64bits(want.Overhead))
+	}
+}
+
+// TestPlannerGoldenParity asserts the pruned parallel planner returns
+// plans bit-identical to (a) the captured pre-overhaul outputs and (b)
+// a live run of the sequential nested convex reference, across the
+// Table 2 platforms and hierarchy depths.
+func TestPlannerGoldenParity(t *testing.T) {
+	for _, g := range plannerGolden {
+		pl, err := platform.ByName(g.platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := FromPlatform(pl, g.levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := g.platform + "/" + string(rune('0'+g.levels))
+
+		golden := Plan{
+			Spec:     Spec{W: math.Float64frombits(g.wBits), Counts: g.counts, M: g.m},
+			Overhead: math.Float64frombits(g.hBits),
+		}
+		got, err := Optimize(p)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		samePlan(t, label+" vs golden", got, golden)
+
+		ev, err := NewEvaluator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := optimizeReference(ev)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", label, err)
+		}
+		samePlan(t, label+" vs reference", got, ref)
+	}
+}
+
+// TestPlannerWorkerDeterminism asserts the fan-out width never touches
+// the returned plan: the screen and refine sets are pure functions of
+// the configuration, every candidate's value is computed by the same
+// deterministic leaf search on whichever worker claims it, and the
+// reduction is an index-order scan.
+func TestPlannerWorkerDeterminism(t *testing.T) {
+	for _, name := range []string{"Hera", "Coastal"} {
+		pl, err := platform.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := FromPlatform(pl, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var base Plan
+		for i, workers := range []int{1, 2, 3, 8} {
+			pln, err := NewPlanner(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pln.SetWorkers(workers)
+			got, err := pln.Plan()
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if st := pln.Stats(); st.Workers != workers {
+				t.Fatalf("%s: stats.Workers = %d, want %d", name, st.Workers, workers)
+			}
+			if i == 0 {
+				base = got
+				continue
+			}
+			samePlan(t, name+" across worker counts", got, base)
+		}
+	}
+}
+
+// TestPlannerWarmReuse asserts a planner can be reused across Plan
+// calls (the service's warm per-shard path) without drifting from a
+// cold run.
+func TestPlannerWarmReuse(t *testing.T) {
+	pl, err := platform.ByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromPlatform(pl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pln, err := NewPlanner(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := pln.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		warm, err := pln.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePlan(t, "warm replan", warm, cold)
+	}
+}

@@ -3,7 +3,10 @@ package multilevel
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 
+	"respat/internal/sched"
 	"respat/internal/xmath"
 )
 
@@ -12,6 +15,36 @@ import (
 // analytic.MaxSplit: it is only reached in degenerate parameter
 // regimes.
 const MaxBranch = 4096
+
+// maxEnumCandidates bounds the level-vector box the planner will
+// enumerate for the pruned parallel search. Realistic platforms yield
+// a few hundred candidates; when the first-order caps blow the box
+// past this bound (degenerate near-zero-rate regimes) the planner
+// falls back to the sequential nested convex search, which is
+// logarithmic in the caps.
+const maxEnumCandidates = 32768
+
+// pruneSlack is the safety factor of the first-order pruning bound: a
+// level-vector candidate is skipped when its W- and m-minimised
+// first-order overhead 2·sqrt(oef·orw) exceeds pruneSlack times the
+// seed vector's first-order overhead. The comparison is first-order
+// against first-order, so the model's absolute error cancels and only
+// its ranking error matters: the exact optimum is lost only if the
+// first-order model misranks two level vectors by more than 5%, while
+// on the Table 2 grid the first-order and exact argmins coincide
+// outright (ranking error well under 1%). Parity with the unpruned
+// brute-force search is asserted by TestPlannerGoldenParity.
+const pruneSlack = 1.05
+
+// refineMargin bounds the screening stage's m-misattribution: a
+// survivor is screened with a single coarse W search at the
+// incumbent's chunk count m*, and receives the full m search only when
+// that screen lands within refineMargin of the best screen. The margin
+// must dominate how much a candidate can gain by re-optimising m away
+// from the incumbent's — the exact overhead is nearly flat in m around
+// m* (well under 1% across the Table 2 grid) — plus the coarse
+// search's own error (quadratically suppressed, see optimizeW).
+const refineMargin = 0.05
 
 // Plan is the outcome of optimising a multilevel pattern for a
 // configuration.
@@ -29,46 +62,208 @@ func (p Plan) String() string {
 	return fmt.Sprintf("multilevel: W*=%.6gs n*=%v m*=%d H*=%.4f", p.Spec.W, p.Spec.Counts, p.Spec.M, p.Overhead)
 }
 
-// wEval is one (branch, m) leaf: the W-optimised overhead.
-type wEval struct {
-	w, h float64
-	err  error
+// SearchStats describes one planner run, so perf claims are observable
+// without a profiler (cmd/respat logs them per cell).
+type SearchStats struct {
+	// Candidates is the number of level-vector candidates in the
+	// enumerated search box (the first-order caps).
+	Candidates int
+	// Pruned is how many candidates the first-order lower bound
+	// skipped without an exact evaluation.
+	Pruned int
+	// Screened is how many candidates were placed by a single coarse
+	// exact W search at the incumbent's chunk count.
+	Screened int
+	// Evaluated is how many candidates ran the full exact m/W search
+	// (the incumbent plus the screening survivors within refineMargin).
+	Evaluated int
+	// Leaves is the total number of exact (n-vector, m) leaves
+	// golden-section-searched over W.
+	Leaves int
+	// Workers is the fan-out width the exact evaluations ran under.
+	Workers int
+	// Fallback reports that the box exceeded maxEnumCandidates and the
+	// sequential nested convex search ran instead.
+	Fallback bool
 }
+
+// wEval is one (level-vector, m) leaf: the W-optimised overhead.
+type wEval struct {
+	w, h   float64
+	m      int
+	leaves int
+	err    error
+}
+
+// Planner is a reusable search context bound to one Params
+// configuration: it owns a memoized Evaluator (see the Evaluator doc
+// for what is cached) plus the enumeration scratch, so repeated Plan
+// calls — the service's warm per-shard planners, the harness study —
+// allocate almost nothing after the first. A Planner is not safe for
+// concurrent use; the parallel fan-out inside Plan spawns its own
+// per-worker evaluators.
+type Planner struct {
+	ev      *Evaluator
+	workers int
+	stats   SearchStats
+	// pool holds one searchCtx per fan-out worker, kept warm across
+	// rounds and Plan calls; pool[0] wraps the planner's own evaluator.
+	// poolNext hands out slots during a round (reset before each one).
+	pool     []*searchCtx
+	poolNext atomic.Int64
+	// scratch, reused across Plan calls
+	branch  []int
+	counts  []int
+	seed    []int
+	caps    []int
+	surv    []int
+	refine  []int
+	screenH []float64
+	results []wEval
+}
+
+// NewPlanner validates p once and returns a planner bound to it with
+// the default fan-out width (GOMAXPROCS).
+func NewPlanner(p Params) (*Planner, error) {
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+	return PlannerFor(ev), nil
+}
+
+// PlannerFor wraps a caller-supplied evaluator (e.g. a service shard's
+// warm one). The planner takes over the evaluator's serialisation
+// contract: do not use ev concurrently with the planner.
+func PlannerFor(ev *Evaluator) *Planner {
+	L := len(ev.Params().Levels)
+	pl := &Planner{
+		ev:      ev,
+		workers: runtime.GOMAXPROCS(0),
+		branch:  make([]int, L-1),
+		counts:  make([]int, L),
+		seed:    make([]int, L-1),
+		caps:    make([]int, L-1),
+	}
+	pl.pool = []*searchCtx{newSearchCtx(ev)}
+	return pl
+}
+
+// ensurePool grows the context pool to n slots (slot 0 wraps the
+// planner's evaluator; extra slots own fresh ones, since an Evaluator
+// is not safe for concurrent use). Growth happens sequentially between
+// fan-out rounds, so the handout inside a round is a plain atomic.
+func (pl *Planner) ensurePool(n int) error {
+	for len(pl.pool) < n {
+		ev, err := NewEvaluator(pl.ev.Params())
+		if err != nil {
+			return err
+		}
+		pl.pool = append(pl.pool, newSearchCtx(ev))
+	}
+	return nil
+}
+
+// runRound fans the n cells out over the context pool: each worker
+// claims one pooled context and threads it through the cells it runs.
+func (pl *Planner) runRound(n int, cell func(ctx *searchCtx, i int) error) error {
+	workers := pl.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if err := pl.ensurePool(workers); err != nil {
+		return err
+	}
+	pl.poolNext.Store(0)
+	return sched.RunCellsCtx(n, pl.workers, func() (*searchCtx, error) {
+		return pl.pool[pl.poolNext.Add(1)-1], nil
+	}, cell)
+}
+
+// SetWorkers bounds the parallel fan-out of exact candidate
+// evaluations; 0 or 1 evaluates sequentially, the default is
+// GOMAXPROCS. The returned Plan is bit-identical for any value (see
+// Plan).
+func (pl *Planner) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	pl.workers = n
+}
+
+// Stats returns the search statistics of the most recent Plan call.
+func (pl *Planner) Stats() SearchStats { return pl.stats }
 
 // Optimize finds the multilevel plan minimising the exact expected
 // overhead over the pattern length W, the per-level branching factors
-// k_1..k_{L-1} (n_l = k_l·n_{l+1}) and the chunk count m. A
-// first-order stage minimises the oef·orw product of Definition 1
-// (cheap, no renewal recursion) to locate the search region; the exact
-// stage then runs nested convex integer searches capped around that
-// seed — the discipline of optimize.Exact — with a golden-section
-// search over W at every leaf. All leaf evaluations share one
-// Evaluator, so repeated probes at a layout only rescale W.
+// k_1..k_{L-1} (n_l = k_l·n_{l+1}) and the chunk count m. It is
+// NewPlanner + Plan; callers planning repeatedly for one configuration
+// or wanting SearchStats should keep a Planner.
 func Optimize(p Params) (Plan, error) {
-	ev, err := NewEvaluator(p)
+	pl, err := NewPlanner(p)
 	if err != nil {
 		return Plan{}, err
 	}
-	return OptimizeWithEvaluator(ev)
+	return pl.Plan()
 }
 
 // OptimizeWithEvaluator is Optimize on a caller-supplied evaluator,
-// for callers that keep a long-lived evaluator per configuration (e.g.
-// the planning service's shards). The caller is responsible for
-// serialising access to ev (an Evaluator is not safe for concurrent
-// use).
+// for callers that keep a long-lived evaluator per configuration. The
+// caller is responsible for serialising access to ev (an Evaluator is
+// not safe for concurrent use).
 func OptimizeWithEvaluator(ev *Evaluator) (Plan, error) {
-	p := ev.Params()
+	return PlannerFor(ev).Plan()
+}
+
+// Plan runs the pruned parallel search:
+//
+//  1. a first-order stage minimises the oef·orw product of Definition
+//     1 (cheap, no renewal recursion) to locate the search region and
+//     caps the per-dimension box, exactly as the nested search did;
+//  2. the seed vector is evaluated exactly (sequentially, on the
+//     planner's own evaluator) to obtain the incumbent — its overhead,
+//     its optimal chunk count m* and the screening reference;
+//  3. every other level-vector candidate in the box is bounded by its
+//     m-minimised first-order overhead 2·sqrt(oef·orw); candidates
+//     whose bound exceeds pruneSlack × the seed's own first-order
+//     overhead are pruned without touching the exact model;
+//  4. the survivors fan out over sched.RunCellsCtx — one pooled warm
+//     Evaluator per worker, each cell writing only its own slot — for
+//     a screening pass: one coarse exact W search at the incumbent's
+//     m*, enough to rank level vectors (the exact overhead is nearly
+//     flat in m near m*);
+//  5. survivors whose screen lands within refineMargin of the best
+//     screen fan out again for the full m/W search — the same leaves
+//     the nested convex search would have run — and a sequential
+//     index-order scan with strict-less tie-breaking picks the winner.
+//
+// Every candidate's exact value is computed by the same deterministic
+// golden-section leaf search regardless of which worker runs it, the
+// screen and refine sets are pure functions of deterministic values,
+// and the reduction order is fixed — so the returned Plan is
+// bit-identical for any SetWorkers value. Bit-parity with the
+// sequential nested convex search of the pre-pruning planner is
+// asserted across the Table 2 grid by TestPlannerGoldenParity.
+func (pl *Planner) Plan() (Plan, error) {
+	p := pl.ev.Params()
+	pl.stats = SearchStats{Workers: pl.workers}
 	if p.Rates.Total() == 0 {
 		return Plan{}, fmt.Errorf("multilevel: both error rates are zero; no finite optimal pattern")
 	}
-	L := len(p.Levels)
-	seedBranch, seedM := firstOrderSeed(p)
+	seedM := firstOrderSeed(p, pl.seed, pl.counts)
 
 	// Exact-stage caps around the first-order seed.
-	caps := make([]int, L-1)
-	for d := range caps {
-		caps[d] = min(3*seedBranch[d]+4, MaxBranch)
+	box := 1
+	for d := range pl.caps {
+		pl.caps[d] = min(3*pl.seed[d]+4, MaxBranch)
+		if box > maxEnumCandidates/pl.caps[d] {
+			box = maxEnumCandidates + 1 // overflow-safe saturation
+			break
+		}
+		box *= pl.caps[d]
 	}
 	maxM := min(3*seedM+4, MaxBranch)
 	if p.Rates.Silent == 0 {
@@ -76,68 +271,245 @@ func OptimizeWithEvaluator(ev *Evaluator) (Plan, error) {
 		// tie exactly when V = 0), so pin the chunk count.
 		maxM = 1
 	}
+	if box > maxEnumCandidates {
+		pl.stats.Fallback = true
+		pl.stats.Candidates = box
+		return optimizeNested(pl.ev, maxM, pl.caps, &pl.stats)
+	}
+	pl.stats.Candidates = box
 
-	// Memo key: up to MaxLevels-1 branching factors plus m.
-	memo := make(map[[MaxLevels]int]wEval)
-	branch := make([]int, L-1)
-	at := func(m int) wEval {
-		var key [MaxLevels]int
-		copy(key[:], branch)
-		key[MaxLevels-1] = m
-		if e, ok := memo[key]; ok {
-			return e
+	// Incumbent: the seed vector, evaluated exactly on the warm
+	// evaluator before any pruning decision, so the screen/refine
+	// thresholds are pure functions of the configuration (never of
+	// scheduling).
+	seedIdx := pl.candidateIndex(pl.seed)
+	incumbent := pl.pool[0].evalCandidate(pl.seed, maxM)
+	if incumbent.err != nil {
+		return Plan{}, incumbent.err
+	}
+	pl.stats.Leaves += incumbent.leaves
+	pl.stats.Evaluated++
+	if math.IsInf(incumbent.h, 1) || math.IsNaN(incumbent.h) {
+		// A diverging seed means the first-order model missed badly;
+		// screening against it would be meaningless, so run the
+		// exhaustive-by-convexity nested search instead.
+		pl.stats.Fallback = true
+		return optimizeNested(pl.ev, maxM, pl.caps, &pl.stats)
+	}
+
+	// Bound-and-prune pass (sequential, O(L·log m) per candidate).
+	// First-order is compared against first-order, so the model's
+	// absolute error cancels; only a >5% ranking error could prune the
+	// exact optimum.
+	seedBound := firstOrderBound(p, pl.seed, pl.counts, maxM)
+	pl.surv = pl.surv[:0]
+	for idx := 0; idx < box; idx++ {
+		if idx == seedIdx {
+			continue
 		}
-		e := optimizeW(ev, UniformSpec(1, branch, m).Counts, m)
-		memo[key] = e
-		return e
-	}
-	bestM := func() (int, wEval) {
-		m, _ := xmath.MinimizeConvexInt(func(m int) float64 {
-			e := at(m)
-			if e.err != nil {
-				return math.Inf(1)
-			}
-			return e.h
-		}, 1, maxM)
-		return m, at(m)
-	}
-	// descend searches branching dimension d, returning the best leaf
-	// under the factors already fixed in branch[0..d-1].
-	var descend func(d int) (int, wEval)
-	descend = func(d int) (int, wEval) {
-		if d == len(branch) {
-			return bestM()
+		pl.decode(idx, pl.branch)
+		if firstOrderBound(p, pl.branch, pl.counts, maxM) > pruneSlack*seedBound {
+			pl.stats.Pruned++
+			continue
 		}
-		k, _ := xmath.MinimizeConvexInt(func(k int) float64 {
-			branch[d] = k
-			_, e := descend(d + 1)
-			if e.err != nil {
-				return math.Inf(1)
-			}
-			return e.h
-		}, 1, caps[d])
-		branch[d] = k
-		return descend(d + 1)
+		pl.surv = append(pl.surv, idx)
 	}
-	m, best := descend(0)
-	if best.err != nil {
-		return Plan{}, best.err
+
+	// Screening fan-out: place every survivor with one coarse W search
+	// at the incumbent's m*. Screen failures park at +Inf (the
+	// candidate simply never refines).
+	surv := pl.surv
+	pl.screenH = resize(pl.screenH, len(surv))
+	screenH := pl.screenH
+	pl.stats.Screened = len(surv)
+	pl.stats.Leaves += len(surv)
+	err := pl.runRound(len(surv), func(ctx *searchCtx, i int) error {
+		branch := ctx.scratchBranch(len(pl.caps))
+		pl.decode(surv[i], branch)
+		screenH[i] = ctx.screenCandidate(branch, incumbent.m)
+		return nil
+	})
+	if err != nil {
+		return Plan{}, err
+	}
+
+	// Refine set: survivors within refineMargin of the best screen
+	// (the incumbent's exact overhead is itself a screen value — a
+	// candidate must at least approach it to earn the full m search).
+	minScreen := incumbent.h
+	for _, h := range screenH {
+		if h < minScreen {
+			minScreen = h
+		}
+	}
+	pl.refine = pl.refine[:0]
+	for i, idx := range surv {
+		if screenH[i] <= minScreen*(1+refineMargin) {
+			pl.refine = append(pl.refine, idx)
+		}
+	}
+
+	// Refinement fan-out: the full m/W search, identical leaves to the
+	// nested convex search.
+	refine := pl.refine
+	pl.results = resize(pl.results, len(refine))
+	results := pl.results
+	pl.stats.Evaluated += len(refine)
+	err = pl.runRound(len(refine), func(ctx *searchCtx, i int) error {
+		branch := ctx.scratchBranch(len(pl.caps))
+		pl.decode(refine[i], branch)
+		results[i] = ctx.evalCandidate(branch, maxM)
+		return nil
+	})
+	if err != nil {
+		return Plan{}, err
+	}
+
+	// Deterministic reduction: ascending candidate index (refine is
+	// built in index order), strict less, so ties go to the
+	// lexicographically-first candidate regardless of worker count.
+	bestIdx := seedIdx
+	best := incumbent
+	for i, idx := range refine {
+		e := results[i]
+		pl.stats.Leaves += e.leaves
+		if e.err != nil || math.IsNaN(e.h) {
+			continue
+		}
+		if e.h < best.h || (e.h == best.h && idx < bestIdx) {
+			best, bestIdx = e, idx
+		}
 	}
 	if math.IsInf(best.h, 1) || math.IsNaN(best.h) {
 		return Plan{}, fmt.Errorf("multilevel: optimisation diverged")
 	}
-	return Plan{Spec: UniformSpec(best.w, branch, m), Overhead: best.h}, nil
+	pl.decode(bestIdx, pl.branch)
+	return Plan{Spec: UniformSpec(best.w, pl.branch, best.m), Overhead: best.h}, nil
+}
+
+// candidateIndex maps a branch vector inside the caps box to its
+// enumeration index (mixed radix, dimension 0 slowest).
+func (pl *Planner) candidateIndex(branch []int) int {
+	idx := 0
+	for d, k := range branch {
+		idx = idx*pl.caps[d] + (k - 1)
+	}
+	return idx
+}
+
+// decode is the inverse of candidateIndex.
+func (pl *Planner) decode(idx int, branch []int) {
+	for d := len(pl.caps) - 1; d >= 0; d-- {
+		branch[d] = idx%pl.caps[d] + 1
+		idx /= pl.caps[d]
+	}
+}
+
+// searchCtx is the per-worker state of the exact stage: a private
+// evaluator (evaluators are not concurrency-safe), the per-candidate
+// m-search memo and the counts scratch. Reusing the memo map across
+// candidates (cleared, not reallocated) keeps the fan-out
+// allocation-lean.
+type searchCtx struct {
+	ev     *Evaluator
+	memo   map[int]wEval
+	counts []int
+	branch []int
+}
+
+func newSearchCtx(ev *Evaluator) *searchCtx {
+	L := len(ev.Params().Levels)
+	return &searchCtx{
+		ev:     ev,
+		memo:   make(map[int]wEval),
+		counts: make([]int, L),
+		branch: make([]int, L-1),
+	}
+}
+
+func (sc *searchCtx) scratchBranch(n int) []int {
+	if cap(sc.branch) < n {
+		sc.branch = make([]int, n)
+	}
+	return sc.branch[:n]
+}
+
+// evalCandidate runs the capped convex integer search over m for one
+// level-vector candidate, with a golden-section W search at every
+// leaf. Leaves are memoized per candidate so the ternary probes and
+// the final refinement scan never recompute a leaf.
+func (sc *searchCtx) evalCandidate(branch []int, maxM int) wEval {
+	fillCounts(sc.counts, branch)
+	clear(sc.memo)
+	at := func(m int) wEval {
+		if e, ok := sc.memo[m]; ok {
+			return e
+		}
+		e := optimizeW(sc.ev, sc.counts, m)
+		e.m = m
+		sc.memo[m] = e
+		return e
+	}
+	m, _ := xmath.MinimizeConvexInt(func(m int) float64 {
+		e := at(m)
+		if e.err != nil {
+			return math.Inf(1)
+		}
+		return e.h
+	}, 1, maxM)
+	e := at(m)
+	e.leaves = len(sc.memo)
+	return e
+}
+
+// screenCandidate places one level-vector candidate with a single
+// coarse exact W search at a fixed chunk count (the incumbent's m*),
+// returning its approximate overhead; failures park at +Inf so the
+// candidate simply never earns the full search.
+func (sc *searchCtx) screenCandidate(branch []int, m int) float64 {
+	fillCounts(sc.counts, branch)
+	e := screenW(sc.ev, sc.counts, m)
+	if e.err != nil || math.IsNaN(e.h) {
+		return math.Inf(1)
+	}
+	return e.h
+}
+
+// fillCounts assembles the count vector of a branch-factor vector into
+// counts (len(branch)+1 slots): counts[L-1] = 1 and counts[l] =
+// counts[l+1]·branch[l], the UniformSpec rule without the allocation.
+func fillCounts(counts, branch []int) {
+	counts[len(branch)] = 1
+	for l := len(branch) - 1; l >= 0; l-- {
+		counts[l] = counts[l+1] * branch[l]
+	}
+}
+
+// firstOrderBound returns the m-minimised first-order overhead
+// 2·sqrt(oef·orw) of a level-vector candidate — the W-optimal overhead
+// of the Definition 1 model, a lower-bound proxy for the exact
+// overhead used only to prune (with pruneSlack headroom), never to
+// rank survivors.
+func firstOrderBound(p Params, branch, counts []int, maxM int) float64 {
+	fillCounts(counts, branch)
+	_, prod := xmath.MinimizeConvexInt(func(m int) float64 {
+		oef, orw := p.FirstOrder(counts, m)
+		return oef * orw
+	}, 1, maxM)
+	return 2 * math.Sqrt(prod)
 }
 
 // firstOrderSeed minimises the first-order product oef·orw (whose
 // minimiser is W-free, exactly as in Theorems 2-4) over the branching
-// factors and the chunk count. Evaluations are O(L), so the full
-// MaxBranch range is affordable here.
-func firstOrderSeed(p Params) (branch []int, m int) {
-	L := len(p.Levels)
-	branch = make([]int, L-1)
+// factors and the chunk count, writing the branch minimiser into seed
+// and returning the chunk minimiser. Evaluations are O(L) on the
+// caller's counts scratch — no allocation — so the full MaxBranch
+// range is affordable here. The probe sequence is identical to the
+// pre-overhaul seeding stage, so the caps box (and therefore the
+// search outcome) is unchanged.
+func firstOrderSeed(p Params, seed, counts []int) (m int) {
 	product := func(m int) float64 {
-		counts := UniformSpec(1, branch, m).Counts
+		fillCounts(counts, seed)
 		oef, orw := p.FirstOrder(counts, m)
 		return oef * orw
 	}
@@ -150,24 +522,26 @@ func firstOrderSeed(p Params) (branch []int, m int) {
 	}
 	var descend func(d int) (int, float64)
 	descend = func(d int) (int, float64) {
-		if d == len(branch) {
+		if d == len(seed) {
 			return bestM()
 		}
 		k, _ := xmath.MinimizeConvexInt(func(k int) float64 {
-			branch[d] = k
+			seed[d] = k
 			_, f := descend(d + 1)
 			return f
 		}, 1, MaxBranch)
-		branch[d] = k
+		seed[d] = k
 		return descend(d + 1)
 	}
 	m, _ = descend(0)
-	return branch, m
+	return m
 }
 
 // optimizeW minimises the exact expected overhead at fixed (counts, m)
 // over W by golden-section search, bracketed two orders of magnitude
-// around the first-order optimum sqrt(oef/orw).
+// around the first-order optimum sqrt(oef/orw) — the per-leaf
+// first-order seed. Probes run through the evaluator's prefetched
+// chunk layout and boundary table, so each one is pure arithmetic.
 func optimizeW(ev *Evaluator, counts []int, m int) wEval {
 	p := ev.Params()
 	oef, orw := p.FirstOrder(counts, m)
@@ -175,20 +549,47 @@ func optimizeW(ev *Evaluator, counts []int, m int) wEval {
 	if math.IsInf(guess, 1) || math.IsNaN(guess) || guess <= 0 {
 		return wEval{err: fmt.Errorf("multilevel: no finite period guess for n=%v m=%d", counts, m)}
 	}
-	spec := Spec{Counts: counts, M: m}
-	var evalErr error
+	cl, err := ev.layout(m)
+	if err != nil {
+		return wEval{err: err}
+	}
+	bt := ev.table(counts)
 	h := func(w float64) float64 {
-		spec.W = w
-		h, err := ev.Overhead(spec)
-		if err != nil {
-			evalErr = err
-			return math.Inf(1)
-		}
-		return h
+		return ev.evalSpec(cl, bt, w)/w - 1
 	}
 	w, hMin := xmath.MinimizeGolden(h, guess/100, guess*100, 1e-10)
-	if evalErr != nil {
-		return wEval{err: evalErr}
-	}
 	return wEval{w: w, h: hMin}
+}
+
+// screenW is optimizeW with the golden tolerance relaxed to 1e-4 of
+// the first-order guess (~29 probes instead of ~80): screening only
+// ranks level vectors, and near the minimum the overhead error is
+// quadratic in the W error, far below refineMargin. Refined candidates
+// rerun through optimizeW at full precision, so screening never
+// touches the returned Plan's bits.
+func screenW(ev *Evaluator, counts []int, m int) wEval {
+	p := ev.Params()
+	oef, orw := p.FirstOrder(counts, m)
+	guess := xmath.SqrtRatio(oef, orw)
+	if math.IsInf(guess, 1) || math.IsNaN(guess) || guess <= 0 {
+		return wEval{err: fmt.Errorf("multilevel: no finite period guess for n=%v m=%d", counts, m)}
+	}
+	cl, err := ev.layout(m)
+	if err != nil {
+		return wEval{err: err}
+	}
+	bt := ev.table(counts)
+	h := func(w float64) float64 {
+		return ev.evalSpec(cl, bt, w)/w - 1
+	}
+	w, hMin := xmath.MinimizeGolden(h, guess/100, guess*100, guess*1e-4)
+	return wEval{w: w, h: hMin, m: m}
+}
+
+// resize returns s with length n, reallocating only on growth.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

@@ -1,0 +1,107 @@
+package multilevel
+
+import (
+	"fmt"
+	"math"
+
+	"respat/internal/xmath"
+)
+
+// optimizeNested is the pre-overhaul planner's exact stage: nested
+// convex integer ternary searches over the capped box with a shared
+// (branch, m) memo, sequential. It is kept for two reasons:
+//
+//   - it is the fallback when the first-order caps make the candidate
+//     box too large to enumerate (degenerate near-zero-rate regimes) —
+//     ternary search is logarithmic in the caps where enumeration is
+//     linear;
+//   - wrapped by optimizeReference, it is the golden-parity oracle:
+//     the pruned parallel Plan must return a bit-identical Plan on the
+//     Table 2 grid, which pins the overhaul to the pre-optimization
+//     planner's outputs.
+//
+// Leaves run through the same optimizeW as the parallel path, so the
+// two searches share every floating-point operation and differ only in
+// how they walk the box.
+func optimizeNested(ev *Evaluator, maxM int, caps []int, stats *SearchStats) (Plan, error) {
+	memo := make(map[[MaxLevels]int]wEval)
+	branch := make([]int, len(caps))
+	counts := make([]int, len(caps)+1)
+	at := func(m int) wEval {
+		var key [MaxLevels]int
+		copy(key[:], branch)
+		key[MaxLevels-1] = m
+		if e, ok := memo[key]; ok {
+			return e
+		}
+		fillCounts(counts, branch)
+		e := optimizeW(ev, counts, m)
+		e.m = m
+		memo[key] = e
+		return e
+	}
+	bestM := func() (int, wEval) {
+		m, _ := xmath.MinimizeConvexInt(func(m int) float64 {
+			e := at(m)
+			if e.err != nil {
+				return math.Inf(1)
+			}
+			return e.h
+		}, 1, maxM)
+		return m, at(m)
+	}
+	// descend searches branching dimension d, returning the best leaf
+	// under the factors already fixed in branch[0..d-1].
+	var descend func(d int) (int, wEval)
+	descend = func(d int) (int, wEval) {
+		if d == len(branch) {
+			return bestM()
+		}
+		k, _ := xmath.MinimizeConvexInt(func(k int) float64 {
+			branch[d] = k
+			_, e := descend(d + 1)
+			if e.err != nil {
+				return math.Inf(1)
+			}
+			return e.h
+		}, 1, caps[d])
+		branch[d] = k
+		return descend(d + 1)
+	}
+	m, best := descend(0)
+	if best.err != nil {
+		return Plan{}, best.err
+	}
+	if math.IsInf(best.h, 1) || math.IsNaN(best.h) {
+		return Plan{}, fmt.Errorf("multilevel: optimisation diverged")
+	}
+	stats.Leaves += len(memo)
+	stats.Evaluated += len(memo)
+	return Plan{Spec: UniformSpec(best.w, branch, m), Overhead: best.h}, nil
+}
+
+// optimizeReference reproduces the pre-overhaul Optimize end to end
+// (first-order seed, caps, nested convex search; no pruning, no
+// parallelism). Production code never calls it — it exists so the
+// parity tests can assert the overhauled planner returns bit-identical
+// plans.
+func optimizeReference(ev *Evaluator) (Plan, error) {
+	p := ev.Params()
+	if p.Rates.Total() == 0 {
+		return Plan{}, fmt.Errorf("multilevel: both error rates are zero; no finite optimal pattern")
+	}
+	L := len(p.Levels)
+	seed := make([]int, L-1)
+	counts := make([]int, L)
+	seedM := firstOrderSeed(p, seed, counts)
+	caps := make([]int, L-1)
+	for d := range caps {
+		caps[d] = min(3*seed[d]+4, MaxBranch)
+	}
+	maxM := min(3*seedM+4, MaxBranch)
+	if p.Rates.Silent == 0 {
+		maxM = 1
+	}
+	var stats SearchStats
+	return optimizeNested(ev, maxM, caps, &stats)
+}

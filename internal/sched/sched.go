@@ -24,38 +24,73 @@ import (
 // flight. workers <= 1 (or n <= 1) runs the cells sequentially in the
 // calling goroutine. cell(i) must write only its own output slot.
 func RunCells(n, workers int, cell func(i int) error) error {
+	return RunCellsCtx(n, workers, func() (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, i int) error { return cell(i) })
+}
+
+// RunCellsCtx is RunCells for cells that share expensive per-worker
+// state (a warm evaluator, a reusable scratch buffer): each worker
+// constructs one context via newCtx and threads it through every cell
+// it claims. Because cells are claimed dynamically, which context a
+// cell sees depends on scheduling — so the determinism contract
+// tightens: a context must be a cache or scratch whose history cannot
+// influence cell outputs, which must remain pure functions of the cell
+// index. Error semantics extend RunCells: after any failure no new
+// cells start, the lowest-indexed cell error wins, and a newCtx error
+// is reported only when no cell error preceded it. newCtx is never
+// called when n == 0.
+func RunCellsCtx[C any](n, workers int, newCtx func() (C, error), cell func(ctx C, i int) error) error {
+	if n == 0 {
+		return nil
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		ctx, err := newCtx()
+		if err != nil {
+			return err
+		}
 		for i := 0; i < n; i++ {
-			if err := cell(i); err != nil {
+			if err := cell(ctx, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	errs := make([]error, n)
+	ctxErrs := make([]error, workers)
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			ctx, err := newCtx()
+			if err != nil {
+				ctxErrs[w] = err
+				failed.Store(true)
+				return
+			}
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if errs[i] = cell(i); errs[i] != nil {
+				if errs[i] = cell(ctx, i); errs[i] != nil {
 					failed.Store(true)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, err := range ctxErrs {
 		if err != nil {
 			return err
 		}

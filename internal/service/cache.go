@@ -43,10 +43,10 @@ type shard struct {
 	evalRates core.Rates
 	eval      *analytic.Evaluator
 	// mlKey identifies the configuration of the warm multilevel
-	// evaluator (Params holds a slice, so the canonical cache key is
+	// planner (Params holds a slice, so the canonical cache key is
 	// the equality witness).
-	mlKey  Key
-	mlEval *multilevel.Evaluator
+	mlKey     Key
+	mlPlanner *multilevel.Planner
 }
 
 // entry is one cached response.
@@ -200,18 +200,19 @@ func (s *shard) withEvaluator(costs core.Costs, rates core.Rates, fn func(*analy
 	return fn(s.eval)
 }
 
-// withMultilevelEvaluator is withEvaluator for the multilevel planner:
-// the shard keeps one multilevel.Evaluator warm for the configuration
-// it last served, identified by its canonical key.
-func (s *shard) withMultilevelEvaluator(key Key, p multilevel.Params, fn func(*multilevel.Evaluator) error) error {
+// withMultilevelPlanner is withEvaluator for the multilevel planner:
+// the shard keeps one multilevel.Planner — and through it the memoized
+// evaluator, the worker-context pool and the search scratch — warm for
+// the configuration it last served, identified by its canonical key.
+func (s *shard) withMultilevelPlanner(key Key, p multilevel.Params, fn func(*multilevel.Planner) error) error {
 	s.evalMu.Lock()
 	defer s.evalMu.Unlock()
-	if s.mlEval == nil || s.mlKey != key {
-		ev, err := multilevel.NewEvaluator(p)
+	if s.mlPlanner == nil || s.mlKey != key {
+		pl, err := multilevel.NewPlanner(p)
 		if err != nil {
 			return err
 		}
-		s.mlEval, s.mlKey = ev, key
+		s.mlPlanner, s.mlKey = pl, key
 	}
-	return fn(s.mlEval)
+	return fn(s.mlPlanner)
 }

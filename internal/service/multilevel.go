@@ -59,9 +59,9 @@ func (s *Service) planMultilevelCold(key Key, p multilevel.Params) ([]byte, erro
 	sh := s.cache.shard(key)
 	return s.cache.getOrCompute(key, func() ([]byte, error) {
 		var plan multilevel.Plan
-		err := sh.withMultilevelEvaluator(key, p, func(ev *multilevel.Evaluator) error {
+		err := sh.withMultilevelPlanner(key, p, func(pl *multilevel.Planner) error {
 			var err error
-			plan, err = multilevel.OptimizeWithEvaluator(ev)
+			plan, err = pl.Plan()
 			return err
 		})
 		if err != nil {

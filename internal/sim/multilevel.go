@@ -137,22 +137,35 @@ func RunMultilevel(cfg MultilevelConfig) (MultilevelResult, error) {
 	overheads := make([]float64, cfg.Runs)
 	walls := make([]float64, cfg.Runs)
 	totals := make([]MultilevelCounters, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ex := newMLExecutor(&cfg, &layout)
-			for run := w; run < cfg.Runs; run += workers {
-				ex.reset(run)
-				cnt, elapsed := ex.runAll()
-				overheads[run] = (elapsed - work) / work
-				walls[run] = elapsed
-				totals[w].add(cnt)
-			}
-		}(w)
+	if workers == 1 {
+		// Inline, as in Run: a lone worker goroutine only adds
+		// spawn/handoff latency.
+		ex := newMLExecutor(&cfg, &layout)
+		for run := 0; run < cfg.Runs; run++ {
+			ex.reset(run)
+			cnt, elapsed := ex.runAll()
+			overheads[run] = (elapsed - work) / work
+			walls[run] = elapsed
+			totals[0].add(cnt)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ex := newMLExecutor(&cfg, &layout)
+				for run := w; run < cfg.Runs; run += workers {
+					ex.reset(run)
+					cnt, elapsed := ex.runAll()
+					overheads[run] = (elapsed - work) / work
+					walls[run] = elapsed
+					totals[w].add(cnt)
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	res := MultilevelResult{Runs: cfg.Runs, Patterns: cfg.Patterns, PatternWork: cfg.Spec.W}
 	for run := range overheads {

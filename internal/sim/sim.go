@@ -189,22 +189,37 @@ func Run(cfg Config) (Result, error) {
 	overheads := make([]float64, cfg.Runs)
 	walls := make([]float64, cfg.Runs)
 	totals := make([]Counters, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ex := newExecutor(&cfg, pl)
-			for run := w; run < cfg.Runs; run += workers {
-				ex.reset(run)
-				cnt, elapsed := ex.runAll()
-				overheads[run] = (elapsed - work) / work
-				walls[run] = elapsed
-				totals[w].add(cnt)
-			}
-		}(w)
+	if workers == 1 {
+		// Run inline: a single worker gains nothing from a goroutine,
+		// and the spawn/handoff latency is comparable to a whole
+		// small campaign (it showed up as a 2-3x swing in
+		// BenchmarkSimulatePattern between snapshots).
+		ex := newExecutor(&cfg, pl)
+		for run := 0; run < cfg.Runs; run++ {
+			ex.reset(run)
+			cnt, elapsed := ex.runAll()
+			overheads[run] = (elapsed - work) / work
+			walls[run] = elapsed
+			totals[0].add(cnt)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ex := newExecutor(&cfg, pl)
+				for run := w; run < cfg.Runs; run += workers {
+					ex.reset(run)
+					cnt, elapsed := ex.runAll()
+					overheads[run] = (elapsed - work) / work
+					walls[run] = elapsed
+					totals[w].add(cnt)
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	res := Result{Runs: cfg.Runs, Patterns: cfg.Patterns, PatternWork: cfg.Pattern.W}
 	for run := range overheads {

@@ -5,7 +5,9 @@
 # planner (BenchmarkMultilevelPlan) and the service hot paths
 # (BenchmarkServicePlanHot / BenchmarkServiceMultilevelHot), and fails
 # if a service cache hit reports any allocations — the PR 2 0-alloc
-# contract, extended to the multilevel endpoint.
+# contract, extended to the multilevel endpoint. A second, fixed-20x
+# pass gates the cold paths: BenchmarkMultilevelPlan must stay under
+# 5ms and 1000 allocs/op, BenchmarkSimulatePattern under 30µs.
 #
 # Usage: scripts/bench.sh [outdir] [benchtime]
 #   outdir    where to write BENCH_<date>.json (default: .)
@@ -53,6 +55,33 @@ if awk '/^BenchmarkService(Plan|Multilevel)Hot/ {
     :
 else
     echo "bench.sh: service cache-hit path allocates (see above); 0 allocs/op required" >&2
+    exit 1
+fi
+
+# Ratio gates on the overhauled cold paths. These run at a fixed 20x
+# benchtime regardless of the snapshot benchtime: single-iteration
+# timings include goroutine spawn/handoff noise comparable to the
+# budgets themselves (the source of the phantom SimulatePattern
+# "regression" between the 2026-07 snapshots).
+gateraw=$(mktemp)
+trap 'rm -f "$raw" "$gateraw"' EXIT
+go test -run '^$' -bench 'BenchmarkMultilevelPlan$|BenchmarkSimulatePattern$' \
+    -benchtime 20x -benchmem . | tee "$gateraw"
+if awk '
+    /^BenchmarkMultilevelPlan/ {
+        for (i = 2; i < NF; i++) {
+            if ($(i+1) == "ns/op" && $i + 0 > 5000000) { print "gate: MultilevelPlan " $i " ns/op > 5ms"; bad = 1 }
+            if ($(i+1) == "allocs/op" && $i + 0 > 1000) { print "gate: MultilevelPlan " $i " allocs/op > 1000"; bad = 1 }
+        }
+    }
+    /^BenchmarkSimulatePattern/ {
+        for (i = 2; i < NF; i++)
+            if ($(i+1) == "ns/op" && $i + 0 > 30000) { print "gate: SimulatePattern " $i " ns/op > 30µs"; bad = 1 }
+    }
+    END { exit bad }' "$gateraw"; then
+    :
+else
+    echo "bench.sh: cold-path budget exceeded (see gate lines above)" >&2
     exit 1
 fi
 
