@@ -416,6 +416,29 @@ func BenchmarkSimulatePattern(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetSmall runs a whole 500-job fleet campaign per
+// iteration — plan, parallel per-job fault injection, FIFO/backfill
+// dispatch, reduction (DESIGN.md §2.7) — and reports the cluster
+// utilization as the headline metric. scripts/bench.sh gates its
+// per-op budget so the fleet path cannot silently regress.
+func BenchmarkFleetSmall(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	var util float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := respat.SimulateFleet(respat.FleetConfig{
+			Platform: hera, Nodes: 64, Family: core.PDMV,
+			NumJobs: 500, Rate: 1.0 / 7200, JobWork: 86400, WorkSpread: 4,
+			Backfill: true, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		util = res.Utilization
+	}
+	b.ReportMetric(100*util, "%util")
+}
+
 // BenchmarkServicePlanHot measures the planning service's cache-hit
 // path — canonical key encoding plus the sharded LRU lookup — for an
 // exact-model plan that is already cached. The contract (DESIGN.md

@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestMainSmoke replays the trace and runs the capacity sweep
+// in-process. Any failure inside main aborts via log.Fatal, failing
+// the test binary.
+func TestMainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test skipped in -short mode")
+	}
+	main()
+}

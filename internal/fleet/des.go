@@ -1,0 +1,159 @@
+package fleet
+
+// The discrete-event dispatcher: a sequential event loop over job
+// arrivals and completions against the shared node pool. Sequential by
+// design — its cost is O(events · log running), negligible next to the
+// fault-injected executions of phase 2 — which makes its determinism
+// unconditional: state evolves in a fixed event order (ties broken
+// completions-first, then by job index).
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// backfillDepth bounds how many queued jobs behind the head one
+// dispatch pass may inspect, keeping a deeply backlogged campaign
+// (100k queued jobs) out of O(queue²) while leaving realistic
+// backlogs fully scanned.
+const backfillDepth = 64
+
+// completion is one running job's end event.
+type completion struct {
+	end   float64
+	idx   int
+	nodes int
+}
+
+// completionHeap orders completions by (end, idx) — the idx tie-break
+// keeps the event order, and with it every downstream float reduction,
+// fully specified.
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(a, b int) bool {
+	if h[a].end != h[b].end {
+		return h[a].end < h[b].end
+	}
+	return h[a].idx < h[b].idx
+}
+func (h completionHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *completionHeap) Push(x any)   { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// des is the dispatcher state.
+type des struct {
+	cfg        *Config
+	jobs       []Job
+	execs      []jobExec
+	now        float64
+	free       int
+	queue      []int // job indices, FIFO
+	running    completionHeap
+	scratch    []completion // reservation scratch, reused
+	backfilled int
+}
+
+// dispatch replays the campaign and fills each job's start/end times.
+// It returns the number of backfilled starts.
+func dispatch(cfg *Config, jobs []Job, execs []jobExec) int {
+	d := &des{cfg: cfg, jobs: jobs, execs: execs, free: cfg.Nodes}
+	next := 0 // next arrival index
+	for next < len(jobs) || d.running.Len() > 0 {
+		// Completions fire before arrivals at equal times so a freed
+		// node is visible to a job arriving at that instant.
+		if d.running.Len() > 0 && (next >= len(jobs) || d.running[0].end <= jobs[next].Arrival) {
+			c := heap.Pop(&d.running).(completion)
+			d.now = c.end
+			d.free += c.nodes
+		} else {
+			d.now = jobs[next].Arrival
+			d.queue = append(d.queue, next)
+			next++
+		}
+		d.sched()
+	}
+	return d.backfilled
+}
+
+// sched starts every job the policy admits at the current instant.
+func (d *des) sched() {
+	for len(d.queue) > 0 {
+		head := d.queue[0]
+		if d.jobs[head].Nodes <= d.free {
+			d.start(head)
+			d.queue = d.queue[1:]
+			continue
+		}
+		if !d.cfg.Backfill {
+			return
+		}
+		// Conservative backfill: the head holds a reservation at the
+		// earliest time enough nodes will be free; a later job may jump
+		// it only if it fits right now and its (exactly known) finish
+		// does not outlast the reservation — so the head is provably
+		// never delayed.
+		tres, ok := d.reservation(d.jobs[head].Nodes)
+		if !ok {
+			return
+		}
+		started := false
+		limit := len(d.queue)
+		if limit > backfillDepth+1 {
+			limit = backfillDepth + 1
+		}
+		for k := 1; k < limit; k++ {
+			i := d.queue[k]
+			if d.jobs[i].Nodes <= d.free && d.now+d.execs[i].duration <= tres {
+				d.start(i)
+				d.queue = append(d.queue[:k], d.queue[k+1:]...)
+				started = true
+				break
+			}
+		}
+		if !started {
+			return
+		}
+		d.backfilled++
+	}
+}
+
+// start launches job i at the current instant.
+func (d *des) start(i int) {
+	d.execs[i].start = d.now
+	d.execs[i].end = d.now + d.execs[i].duration
+	d.free -= d.jobs[i].Nodes
+	heap.Push(&d.running, completion{end: d.execs[i].end, idx: i, nodes: d.jobs[i].Nodes})
+}
+
+// reservation returns the earliest time at which n nodes are free,
+// assuming no further starts — the backfill bound. ok is false when
+// even draining every running job cannot free n nodes (impossible
+// here, since jobs are validated against the cluster size, but kept as
+// a guard).
+func (d *des) reservation(n int) (float64, bool) {
+	if n <= d.free {
+		return d.now, true
+	}
+	d.scratch = append(d.scratch[:0], d.running...)
+	sort.Slice(d.scratch, func(a, b int) bool {
+		if d.scratch[a].end != d.scratch[b].end {
+			return d.scratch[a].end < d.scratch[b].end
+		}
+		return d.scratch[a].idx < d.scratch[b].idx
+	})
+	free := d.free
+	for _, c := range d.scratch {
+		free += c.nodes
+		if free >= n {
+			return c.end, true
+		}
+	}
+	return 0, false
+}

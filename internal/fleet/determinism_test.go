@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"respat/internal/core"
+)
+
+// TestFleetReportByteIdentical is the fleet determinism gate wired
+// into ci.yml: the same seed must produce byte-identical JSON reports
+// at different worker counts — the fleet extension of internal/sim's
+// same-seed contract. The per-job fault-injected executions are the
+// only parallel phase, and each is a pure function of (seed, job
+// index, plan); this test is what keeps that contract honest.
+func TestFleetReportByteIdentical(t *testing.T) {
+	cfg := Config{
+		Platform: hera(t), Nodes: 64, Family: core.PDMV,
+		NumJobs: 3000, Rate: 0.5, JobWork: 86400, WorkSpread: 4,
+		Backfill: true, Seed: 42,
+	}
+	var golden []byte
+	for _, workers := range []int{1, 3, 8} {
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := res.JSON()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if golden == nil {
+			golden = b
+			continue
+		}
+		if !bytes.Equal(golden, b) {
+			t.Fatalf("workers=%d report differs from workers=1:\n%s\nvs\n%s", workers, golden, b)
+		}
+	}
+}
+
+// TestFleetMultilevelByteIdentical repeats the contract for the
+// hierarchical executor path.
+func TestFleetMultilevelByteIdentical(t *testing.T) {
+	cfg := Config{
+		Platform: hera(t), Nodes: 32, Mode: ModeMultilevel, Levels: 2,
+		NumJobs: 500, Rate: 0.1, JobWork: 200000, JobNodes: 8,
+		Seed: 7,
+	}
+	var golden []byte
+	for _, workers := range []int{1, 5} {
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := res.JSON()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if golden == nil {
+			golden = b
+		} else if !bytes.Equal(golden, b) {
+			t.Fatalf("workers=%d multilevel report differs", workers)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"respat/internal/core"
+	"respat/internal/platform"
+)
+
+func hera(t *testing.T) platform.Platform {
+	t.Helper()
+	p, err := platform.ByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunSmallPattern(t *testing.T) {
+	res, err := Run(Config{
+		Platform: hera(t), Nodes: 16, Family: core.PDMV,
+		NumJobs: 300, Rate: 1.0 / 7200, JobWork: 36000, WorkSpread: 4,
+		Backfill: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 300 {
+		t.Errorf("Jobs = %d, want 300", res.Jobs)
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("Makespan = %v, want > 0", res.Makespan)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("Utilization = %v, want in (0, 1]", res.Utilization)
+	}
+	if res.Overhead.Mean <= 0 {
+		t.Errorf("Overhead.Mean = %v, want > 0 (checkpoints cost something)", res.Overhead.Mean)
+	}
+	if res.Overhead.P99 < res.Overhead.P50 || res.Overhead.Max < res.Overhead.P99 {
+		t.Errorf("overhead quantiles disordered: %+v", res.Overhead)
+	}
+	if res.Totals.Detected > res.Totals.Silent {
+		t.Errorf("Detected %d > Silent %d", res.Totals.Detected, res.Totals.Silent)
+	}
+	if res.Totals.Checkpoints == 0 || res.Totals.Verifications == 0 {
+		t.Errorf("no checkpoints (%d) or verifications (%d) in a protected campaign", res.Totals.Checkpoints, res.Totals.Verifications)
+	}
+	if res.TotalEffWork < res.TotalWork {
+		t.Errorf("effective work %v < submitted work %v; quantization rounds up", res.TotalEffWork, res.TotalWork)
+	}
+	if len(res.Plans) == 0 {
+		t.Error("no plans reported")
+	}
+	jobs := 0
+	for _, p := range res.Plans {
+		jobs += p.Jobs
+		if p.W <= 0 || p.PredictedOverhead <= 0 {
+			t.Errorf("plan %+v has non-positive W or overhead", p)
+		}
+	}
+	if jobs != res.Jobs {
+		t.Errorf("plan job counts sum to %d, want %d", jobs, res.Jobs)
+	}
+}
+
+func TestRunMixedModesFromTrace(t *testing.T) {
+	trace := []Job{
+		{Arrival: 0, Work: 200000, Nodes: 64, Mode: ModePattern},
+		{Arrival: 1000, Work: 200000, Nodes: 64, Mode: ModeTwoLevel},
+		{Arrival: 2000, Work: 200000, Nodes: 64, Mode: ModeMultilevel},
+		{Arrival: 3000, Work: 200000, Nodes: 128, Mode: ModeMultilevel},
+	}
+	res, err := Run(Config{
+		Platform: hera(t), Nodes: 256, Family: core.PDMV,
+		Trace: trace, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plans) != 4 {
+		t.Fatalf("got %d plans, want 4 (one per shape): %+v", len(res.Plans), res.Plans)
+	}
+	// Shapes are reported in (mode, nodes) order.
+	wantModes := []string{"pattern", "twolevel", "multilevel", "multilevel"}
+	for i, p := range res.Plans {
+		if p.Mode != wantModes[i] {
+			t.Errorf("plan %d mode = %s, want %s", i, p.Mode, wantModes[i])
+		}
+		if p.Jobs != 1 {
+			t.Errorf("plan %d jobs = %d, want 1", i, p.Jobs)
+		}
+	}
+}
+
+func TestSynthesizeDeterministicAndBounded(t *testing.T) {
+	cfg := Config{
+		Platform: hera(t), Nodes: 64, NumJobs: 500, Rate: 0.01,
+		JobWork: 1000, WorkSpread: 8, Seed: 9,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := synthesize(&cfg)
+	b := synthesize(&cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("synthesis not deterministic at job %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	last := 0.0
+	for i, j := range a {
+		if j.Arrival < last {
+			t.Fatalf("job %d arrival %v before %v", i, j.Arrival, last)
+		}
+		last = j.Arrival
+		if j.Work < 1000/8-1e-9 || j.Work > 1000*8+1e-9 {
+			t.Errorf("job %d work %v outside spread bounds", i, j.Work)
+		}
+		if j.Nodes < 1 || j.Nodes > 32 || j.Nodes&(j.Nodes-1) != 0 {
+			t.Errorf("job %d nodes %d not a power of two in 1..32", i, j.Nodes)
+		}
+	}
+	cfg.Seed = 10
+	c := synthesize(&cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := Config{Platform: hera(t), Nodes: 16, NumJobs: 10, Rate: 1, JobWork: 100}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base config invalid: %v", err)
+	}
+	for name, mut := range map[string]func(*Config){
+		"negative nodes":    func(c *Config) { c.Nodes = -1 },
+		"zero jobs":         func(c *Config) { c.NumJobs = 0 },
+		"zero rate":         func(c *Config) { c.Rate = 0 },
+		"bad spread":        func(c *Config) { c.WorkSpread = 0.5 },
+		"bad mode":          func(c *Config) { c.Mode = numModes },
+		"bad family":        func(c *Config) { c.Family = core.Kind(99) },
+		"job nodes too big": func(c *Config) { c.JobNodes = 17 },
+		"oversized trace job": func(c *Config) {
+			c.Trace = []Job{{Arrival: 0, Work: 1, Nodes: 17}}
+		},
+		"unsorted trace": func(c *Config) {
+			c.Trace = []Job{{Arrival: 5, Work: 1, Nodes: 1}, {Arrival: 1, Work: 1, Nodes: 1}}
+		},
+		"zero-work trace job": func(c *Config) {
+			c.Trace = []Job{{Arrival: 0, Work: 0, Nodes: 1}}
+		},
+	} {
+		cfg := base
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, cfg)
+		}
+	}
+}
+
+func TestParseModeRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModePattern, ModeTwoLevel, ModeMultilevel} {
+		got, err := ParseMode(strings.ToUpper(m.String()))
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("daly"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+}

@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTrace(t *testing.T) {
+	in := `
+# arrival  work  nodes  mode
+0       360000            # 1-node pattern job (defaults)
+1800    360000  16        # 16-node job, default mode
+3600    720000  64  multilevel
+3600    360000  8   twolevel  # equal arrivals are fine
+`
+	jobs, err := ParseTrace(strings.NewReader(in), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Job{
+		{Arrival: 0, Work: 360000, Nodes: 1, Mode: ModePattern},
+		{Arrival: 1800, Work: 360000, Nodes: 16, Mode: ModePattern},
+		{Arrival: 3600, Work: 720000, Nodes: 64, Mode: ModeMultilevel},
+		{Arrival: 3600, Work: 360000, Nodes: 8, Mode: ModeTwoLevel},
+	}
+	if len(jobs) != len(want) {
+		t.Fatalf("got %d jobs, want %d", len(jobs), len(want))
+	}
+	for i := range want {
+		if jobs[i] != want[i] {
+			t.Errorf("job %d = %+v, want %+v", i, jobs[i], want[i])
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":       "# nothing but comments\n",
+		"one field":   "100\n",
+		"five fields": "0 1 1 pattern extra\n",
+		"bad arrival": "x 100\n",
+		"bad work":    "0 x\n",
+		"bad nodes":   "0 100 x\n",
+		"bad mode":    "0 100 1 daly\n",
+		"decreasing":  "100 1\n50 1\n",
+	} {
+		if _, err := ParseTrace(strings.NewReader(in), ModePattern); err == nil {
+			t.Errorf("%s: ParseTrace accepted %q", name, in)
+		}
+	}
+}
+
+// TestTraceDrivenRunMatchesDefaultMode checks a trace campaign runs
+// end to end and that the default mode reaches jobs without one.
+func TestTraceDrivenRunMatchesDefaultMode(t *testing.T) {
+	jobs, err := ParseTrace(strings.NewReader("0 300000 16\n600 300000 16\n"), ModeTwoLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Platform: hera(t), Nodes: 32, Trace: jobs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plans) != 1 || res.Plans[0].Mode != "twolevel" {
+		t.Fatalf("plans = %+v, want one twolevel plan", res.Plans)
+	}
+}

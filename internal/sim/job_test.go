@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"respat/internal/analytic"
+	"respat/internal/core"
+	"respat/internal/multilevel"
+	"respat/internal/platform"
+)
+
+// TestJobSimMatchesCampaignRun pins JobSim.Run to the campaign
+// executor: a job seeded s must reproduce run 0 of a campaign with
+// Seed s exactly — same counters, same elapsed time — so the fleet's
+// per-job path can never drift from the validated simulator.
+func TestJobSimMatchesCampaignRun(t *testing.T) {
+	p, err := platform.ByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := analytic.Optimal(core.PDMV, p.Costs, p.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Pattern: plan.Pattern, Costs: p.Costs, Rates: p.Rates,
+		Patterns: 20, Runs: 1, ErrorsInOps: true, Workers: 1,
+	}
+	js, err := NewJobSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 42, 1 << 40} {
+		cfg.Seed = seed
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt, elapsed, err := js.Run(seed, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt != want.Total {
+			t.Errorf("seed %d: counters %+v, want %+v", seed, cnt, want.Total)
+		}
+		if got := want.WallTime.Mean(); elapsed != got {
+			t.Errorf("seed %d: elapsed %v, want %v", seed, elapsed, got)
+		}
+	}
+	if js.Work() != plan.Pattern.W {
+		t.Errorf("Work() = %v, want %v", js.Work(), plan.Pattern.W)
+	}
+}
+
+// TestJobSimReuseIsStateless re-runs the same seed after other seeds
+// and expects bit-identical results: reuse history must not leak.
+func TestJobSimReuseIsStateless(t *testing.T) {
+	p, err := platform.ByName("Atlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := analytic.Optimal(core.PDMV, p.Costs, p.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := NewJobSim(Config{Pattern: plan.Pattern, Costs: p.Costs, Rates: p.Rates, ErrorsInOps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt1, el1, err := js.Run(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := js.Run(8, 11); err != nil {
+		t.Fatal(err)
+	}
+	cnt2, el2, err := js.Run(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt1 != cnt2 || el1 != el2 {
+		t.Errorf("reuse leaked state: (%+v, %v) vs (%+v, %v)", cnt1, el1, cnt2, el2)
+	}
+	if _, _, err := js.Run(7, 0); err == nil {
+		t.Error("Run accepted zero patterns")
+	}
+}
+
+// TestMLJobSimMatchesCampaignRun is the multilevel twin of the
+// campaign-parity test.
+func TestMLJobSimMatchesCampaignRun(t *testing.T) {
+	p, err := platform.ByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := multilevel.FromPlatform(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := multilevel.Optimize(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MultilevelConfig{Params: params, Spec: plan.Spec, Patterns: 10, Runs: 1, Workers: 1}
+	js, err := NewMLJobSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{3, 99} {
+		cfg.Seed = seed
+		want, err := RunMultilevel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt, elapsed, err := js.Run(seed, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt != want.Total {
+			t.Errorf("seed %d: counters %+v, want %+v", seed, cnt, want.Total)
+		}
+		if got := want.WallTime.Mean(); elapsed != got {
+			t.Errorf("seed %d: elapsed %v, want %v", seed, elapsed, got)
+		}
+	}
+	if js.Work() != plan.Spec.W {
+		t.Errorf("Work() = %v, want %v", js.Work(), plan.Spec.W)
+	}
+	if _, _, err := js.Run(1, -1); err == nil {
+		t.Error("Run accepted negative patterns")
+	}
+}

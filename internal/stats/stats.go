@@ -174,6 +174,56 @@ func (h *Histogram) Total() int64 {
 	return t
 }
 
+// Merge adds another histogram's counts into h (parallel reduction).
+// The histograms must share the same range and bin count.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Counts) != len(h.Counts) {
+		return fmt.Errorf("stats: merging histogram [%v,%v)x%d into [%v,%v)x%d",
+			o.Lo, o.Hi, len(o.Counts), h.Lo, h.Hi, len(h.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	return nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated from the
+// binned counts by linear interpolation inside the bin holding the
+// target rank: the error is bounded by one bin width. Under-range
+// observations resolve to Lo and over-range ones to Hi. It is the
+// streaming, allocation-free counterpart of the exact Quantile over a
+// retained sample.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	n := h.Total() + h.Under + h.Over
+	if n == 0 {
+		return 0, ErrNoData
+	}
+	// Rank in [0, n-1], matching Quantile's order-statistic convention.
+	rank := q * float64(n-1)
+	if rank < float64(h.Under) {
+		return h.Lo, nil
+	}
+	rest := rank - float64(h.Under)
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if rest < float64(c) {
+			// Interpolate through the bin: rank 0 of a c-count bin sits
+			// at its left edge, rank c at its right edge.
+			return h.Lo + (float64(i)+rest/float64(c))*width, nil
+		}
+		rest -= float64(c)
+	}
+	return h.Hi, nil
+}
+
 // KolmogorovSmirnov computes the one-sample KS statistic D of xs against
 // the continuous CDF cdf, and an approximate p-value via the asymptotic
 // Kolmogorov distribution. It is used to validate that the exponential

@@ -221,3 +221,122 @@ func TestChiSquareCritical95KnownValues(t *testing.T) {
 		t.Error("crit(0) should be 0")
 	}
 }
+
+// TestHistogramQuantileMatchesExact pins the binned quantile estimator
+// to the exact order-statistic Quantile on random data: the estimate
+// may only be off by one bin width.
+func TestHistogramQuantileMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	h, err := NewHistogram(0, 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 5000)
+	for i := range xs {
+		x := rng.Float64()
+		if i%3 == 0 { // skew the distribution so bins fill unevenly
+			x = x * x
+		}
+		xs[i] = x
+		h.Add(x)
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+		want, err := Quantile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > width {
+			t.Errorf("q=%v: histogram %v vs exact %v differ by > bin width %v", q, got, want, width)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Quantile(0.5); err != ErrNoData {
+		t.Errorf("empty histogram quantile err = %v, want ErrNoData", err)
+	}
+	if _, err := h.Quantile(-0.1); err == nil {
+		t.Error("Quantile accepted q < 0")
+	}
+	h.Add(-5) // under
+	h.Add(15) // over
+	h.Add(5)
+	if got, _ := h.Quantile(0); got != h.Lo {
+		t.Errorf("q=0 with under-range mass = %v, want Lo %v", got, h.Lo)
+	}
+	if got, _ := h.Quantile(1); got != h.Hi {
+		t.Errorf("q=1 with over-range mass = %v, want Hi %v", got, h.Hi)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	whole, _ := NewHistogram(0, 1, 50)
+	a, _ := NewHistogram(0, 1, 50)
+	b, _ := NewHistogram(0, 1, 50)
+	for i := 0; i < 2000; i++ {
+		x := rng.NormFloat64()*0.3 + 0.5 // exercises Under/Over too
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Under != whole.Under || a.Over != whole.Over || a.Total() != whole.Total() {
+		t.Errorf("merged totals (%d,%d,%d) != whole (%d,%d,%d)",
+			a.Under, a.Over, a.Total(), whole.Under, whole.Over, whole.Total())
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != whole.Counts[i] {
+			t.Fatalf("bin %d: merged %d != whole %d", i, a.Counts[i], whole.Counts[i])
+		}
+	}
+	other, _ := NewHistogram(0, 2, 50)
+	if err := a.Merge(other); err == nil {
+		t.Error("Merge accepted a mismatched range")
+	}
+	narrow, _ := NewHistogram(0, 1, 10)
+	if err := a.Merge(narrow); err == nil {
+		t.Error("Merge accepted a mismatched bin count")
+	}
+}
+
+// TestStreamingAccumulatorsAllocationFree asserts the hot accumulation
+// paths the fleet reducer leans on never allocate.
+func TestStreamingAccumulatorsAllocationFree(t *testing.T) {
+	var s Sample
+	h, _ := NewHistogram(0, 1, 100)
+	x := 0.123
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Add(x)
+		x = math.Mod(x*1.618, 1)
+	}); n != 0 {
+		t.Errorf("Sample.Add allocates %v times per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Add(x)
+		x = math.Mod(x*1.618, 1)
+	}); n != 0 {
+		t.Errorf("Histogram.Add allocates %v times per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := h.Quantile(0.99); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Histogram.Quantile allocates %v times per call", n)
+	}
+}

@@ -31,16 +31,25 @@
 // exposes the Section 4.1 two-level fail-stop comparator the
 // multilevel model degenerates to.
 //
+// SimulateFleet scales the validation from one pattern to a whole
+// cluster: a deterministic discrete-event simulation of open-loop job
+// arrivals against a shared node pool, with per-job plans from the
+// warm planners, per-job fault injection and SLO metrics
+// (internal/fleet, cmd/fleet).
+//
 // Lower-level capabilities (exact expected-time evaluation, exact-model
 // planning, placement ablations, platform data) live in the internal
 // packages and are re-exported here where downstream users need them.
 package respat
 
 import (
+	"io"
+
 	"respat/internal/adapt"
 	"respat/internal/analytic"
 	"respat/internal/core"
 	"respat/internal/engine"
+	"respat/internal/fleet"
 	"respat/internal/multilevel"
 	"respat/internal/optimize"
 	"respat/internal/platform"
@@ -306,6 +315,56 @@ type (
 // internal/multilevel).
 func CompareTwoLevel(p TwoLevelParams) (TwoLevelComparison, error) {
 	return twolevel.Compare(p)
+}
+
+// Fleet re-exports: the deterministic fleet-scale discrete-event
+// simulator (internal/fleet) behind cmd/fleet — open-loop job arrivals
+// against a shared cluster, per-job resilience plans from the warm
+// planners, per-job fault injection on the internal/sim exposure
+// clocks, and SLO metrics.
+type (
+	// FleetConfig assembles a fleet campaign: platform, cluster size,
+	// workload (synthesized or trace-driven), resilience mode and seed.
+	FleetConfig = fleet.Config
+	// FleetJob is one job of a fleet workload.
+	FleetJob = fleet.Job
+	// FleetMode selects the per-job resilience plan family.
+	FleetMode = fleet.Mode
+	// FleetResult is the campaign report (makespan, utilization,
+	// queue-delay / overhead / sojourn distributions, event totals and
+	// per-shape plans); Result.JSON is byte-identical for any worker
+	// count at a fixed seed.
+	FleetResult = fleet.Result
+)
+
+// The fleet resilience modes.
+const (
+	// FleetPattern plans each job with the paper's single-level
+	// patterns (Optimal + exact refinement).
+	FleetPattern = fleet.ModePattern
+	// FleetTwoLevel plans each job with a two-level checkpoint
+	// hierarchy (multilevel planner at L = 2).
+	FleetTwoLevel = fleet.ModeTwoLevel
+	// FleetMultilevel plans each job with the full multilevel
+	// hierarchy (FleetConfig.Levels, default 3).
+	FleetMultilevel = fleet.ModeMultilevel
+)
+
+// SimulateFleet runs a fleet campaign: plan every distinct job shape
+// with a warm planner, simulate every job's fault-injected execution
+// in parallel, dispatch the jobs through the FIFO/backfill queue and
+// reduce the SLO metrics deterministically.
+func SimulateFleet(cfg FleetConfig) (FleetResult, error) { return fleet.Run(cfg) }
+
+// ParseFleetMode converts a mode name (pattern | twolevel |
+// multilevel, case-insensitive) to a FleetMode.
+func ParseFleetMode(s string) (FleetMode, error) { return fleet.ParseMode(s) }
+
+// ParseFleetTrace reads the cmd/fleet job-trace format (documented in
+// docs/api.md) into a workload for FleetConfig.Trace; def is the mode
+// of jobs that do not name one.
+func ParseFleetTrace(r io.Reader, def FleetMode) ([]FleetJob, error) {
+	return fleet.ParseTrace(r, def)
 }
 
 // Platforms returns the four Table 2 platforms (Hera, Atlas, Coastal,

@@ -1,7 +1,9 @@
 package respat_test
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"respat"
@@ -230,3 +232,49 @@ type appFunc func(float64)
 func (f appFunc) Advance(w float64) error { f(w); return nil }
 func (appFunc) Snapshot() ([]byte, error) { return []byte{1}, nil }
 func (appFunc) Restore([]byte) error      { return nil }
+
+// TestFacadeFleet runs a small fleet campaign through the facade: a
+// trace parsed with ParseFleetTrace, mixed modes, and the same-seed
+// byte-identical JSON contract across worker counts.
+func TestFacadeFleet(t *testing.T) {
+	hera, err := respat.PlatformByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, err := respat.ParseFleetMode("twolevel")
+	if err != nil || mode != respat.FleetTwoLevel {
+		t.Fatalf("ParseFleetMode = %v, %v", mode, err)
+	}
+	trace, err := respat.ParseFleetTrace(strings.NewReader(
+		"0 200000 8\n600 200000 8 pattern\n1200 400000 16 multilevel\n"), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := respat.FleetConfig{
+		Platform: hera, Nodes: 32, Family: respat.PDMV,
+		Trace: trace, Seed: 17,
+	}
+	var golden []byte
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		res, err := respat.SimulateFleet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Jobs != 3 || len(res.Plans) != 3 {
+			t.Fatalf("jobs = %d, plans = %d; want 3 and 3", res.Jobs, len(res.Plans))
+		}
+		if res.Utilization <= 0 || res.Utilization > 1 {
+			t.Fatalf("utilization %v outside (0, 1]", res.Utilization)
+		}
+		b, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = b
+		} else if !bytes.Equal(golden, b) {
+			t.Fatalf("facade fleet report differs across worker counts")
+		}
+	}
+}

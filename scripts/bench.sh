@@ -7,7 +7,9 @@
 # if a service cache hit reports any allocations — the PR 2 0-alloc
 # contract, extended to the multilevel endpoint. A second, fixed-20x
 # pass gates the cold paths: BenchmarkMultilevelPlan must stay under
-# 5ms and 1000 allocs/op, BenchmarkSimulatePattern under 30µs.
+# 5ms and 1000 allocs/op, BenchmarkSimulatePattern under 30µs, and a
+# whole 500-job fleet campaign (BenchmarkFleetSmall) under 25ms and
+# 10000 allocs/op.
 #
 # Usage: scripts/bench.sh [outdir] [benchtime]
 #   outdir    where to write BENCH_<date>.json (default: .)
@@ -65,7 +67,7 @@ fi
 # "regression" between the 2026-07 snapshots).
 gateraw=$(mktemp)
 trap 'rm -f "$raw" "$gateraw"' EXIT
-go test -run '^$' -bench 'BenchmarkMultilevelPlan$|BenchmarkSimulatePattern$' \
+go test -run '^$' -bench 'BenchmarkMultilevelPlan$|BenchmarkSimulatePattern$|BenchmarkFleetSmall$' \
     -benchtime 20x -benchmem . | tee "$gateraw"
 if awk '
     /^BenchmarkMultilevelPlan/ {
@@ -77,6 +79,12 @@ if awk '
     /^BenchmarkSimulatePattern/ {
         for (i = 2; i < NF; i++)
             if ($(i+1) == "ns/op" && $i + 0 > 30000) { print "gate: SimulatePattern " $i " ns/op > 30µs"; bad = 1 }
+    }
+    /^BenchmarkFleetSmall/ {
+        for (i = 2; i < NF; i++) {
+            if ($(i+1) == "ns/op" && $i + 0 > 25000000) { print "gate: FleetSmall " $i " ns/op > 25ms"; bad = 1 }
+            if ($(i+1) == "allocs/op" && $i + 0 > 10000) { print "gate: FleetSmall " $i " allocs/op > 10000"; bad = 1 }
+        }
     }
     END { exit bad }' "$gateraw"; then
     :
