@@ -8,6 +8,7 @@
 //
 //	respatd -addr :8080
 //	respatd -addr :8080 -shards 32 -cache-capacity 65536 -batch-workers 8
+//	respatd -addr :8080 -cold-workers 8 -cold-queue 32 -request-timeout 30s -degraded
 //
 // Endpoints (full reference with schemas: docs/api.md):
 //
@@ -26,9 +27,15 @@
 // Parallelism flags follow the repo-wide convention (see DESIGN.md
 // §2.3): -batch-workers bounds fan-out across independent work items
 // (like -campaign-workers in cmd/experiments and cmd/respat) and
-// defaults to GOMAXPROCS. Shutdown is graceful: SIGINT/SIGTERM stops
-// accepting connections and drains in-flight requests for up to
-// -drain-timeout.
+// defaults to GOMAXPROCS. Overload behaviour (docs/api.md "Overload
+// semantics"): cold exact/multilevel searches run behind a bounded
+// -cold-workers pool with a bounded -cold-queue wait queue (full queue
+// sheds 429 + Retry-After); every request gets a -request-timeout
+// deadline budget overridable per request via X-Request-Timeout
+// (exceeded: 503); -degraded serves the first-order plan instead of
+// failing shed or too-tight requests. Shutdown is graceful:
+// SIGINT/SIGTERM stops accepting connections and drains in-flight
+// requests for up to -drain-timeout.
 package main
 
 import (
@@ -55,30 +62,39 @@ func main() {
 		capacity     = flag.Int("cache-capacity", 4096, "total cached plans across all shards")
 		batchWorkers = flag.Int("batch-workers", runtime.GOMAXPROCS(0), "concurrent items per /v1/batch request (0 = GOMAXPROCS)")
 		maxSessions  = flag.Int("max-sessions", 1024, "cap on live adaptive sessions (/v1/observe)")
+		coldWorkers  = flag.Int("cold-workers", runtime.GOMAXPROCS(0), "concurrent cold plans: exact + multilevel searches (0 = GOMAXPROCS)")
+		coldQueue    = flag.Int("cold-queue", 0, "cold plans allowed to wait for a worker before shedding with 429 (0 = 4x cold-workers)")
+		reqTimeout   = flag.Duration("request-timeout", time.Minute, "default per-request deadline budget; X-Request-Timeout overrides (0 = unbounded)")
+		degraded     = flag.Bool("degraded", false, "serve the first-order plan (flagged degraded) instead of failing shed or too-tight exact requests")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
 		quiet        = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
-	if err := run(*addr, *shards, *capacity, *batchWorkers, *maxSessions, *drainTimeout, *quiet); err != nil {
+	cfg := service.Config{
+		Shards:         *shards,
+		Capacity:       *capacity,
+		BatchWorkers:   *batchWorkers,
+		MaxSessions:    *maxSessions,
+		ColdWorkers:    *coldWorkers,
+		ColdQueue:      *coldQueue,
+		DefaultTimeout: *reqTimeout,
+		Degraded:       *degraded,
+	}
+	if err := run(*addr, cfg, *drainTimeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "respatd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, capacity, batchWorkers, maxSessions int, drainTimeout time.Duration, quiet bool) error {
+func run(addr string, cfg service.Config, drainTimeout time.Duration, quiet bool) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	logger := log.New(os.Stderr, "respatd: ", log.LstdFlags)
-	svc := service.New(service.Config{
-		Shards:       shards,
-		Capacity:     capacity,
-		BatchWorkers: batchWorkers,
-		MaxSessions:  maxSessions,
-	})
-	logger.Printf("listening on %s (shards=%d capacity=%d batch-workers=%d max-sessions=%d)",
-		ln.Addr(), shards, capacity, batchWorkers, maxSessions)
+	svc := service.New(cfg)
+	logger.Printf("listening on %s (shards=%d capacity=%d batch-workers=%d max-sessions=%d cold-workers=%d cold-queue=%d request-timeout=%v degraded=%v)",
+		ln.Addr(), cfg.Shards, cfg.Capacity, cfg.BatchWorkers, cfg.MaxSessions, cfg.ColdWorkers, cfg.ColdQueue, cfg.DefaultTimeout, cfg.Degraded)
 	return serve(ln, svc, logger, drainTimeout, quiet)
 }
 
@@ -90,9 +106,14 @@ func serve(ln net.Listener, svc *service.Service, logger *log.Logger, drainTimeo
 	if !quiet {
 		handler = requestLog(logger, handler)
 	}
+	// The read and idle timeouts bound what a slow or stalled client can
+	// hold: without them an overload test that sheds in microseconds can
+	// still be pinned down by connections that never finish sending.
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -130,12 +151,18 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
-// requestLog logs one line per request: method, path, status, duration.
+// requestLog logs one line per request: method, path, status, duration,
+// plus the overload disposition (outcome=shed|degraded|deadline-exceeded)
+// when the service labelled one.
 func requestLog(logger *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
+		if out := sw.Header().Get(service.OutcomeHeader); out != "" {
+			logger.Printf("%s %s %d %v outcome=%s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), out)
+			return
+		}
 		logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
 	})
 }

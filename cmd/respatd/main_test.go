@@ -120,7 +120,24 @@ func TestRequestLog(t *testing.T) {
 
 // TestRunBadAddr: an unbindable address fails fast instead of serving.
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.256.256.256:99999", 1, 1, 1, 1, time.Second, true); err == nil {
+	if err := run("256.256.256.256:99999", service.Config{}, time.Second, true); err == nil {
 		t.Fatal("expected bind error")
+	}
+}
+
+// TestRequestLogOutcome: a response carrying the overload-disposition
+// header gets an outcome= field in its log line.
+func TestRequestLogOutcome(t *testing.T) {
+	var buf strings.Builder
+	logger := log.New(&buf, "", 0)
+	h := requestLog(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(service.OutcomeHeader, "shed")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/plan/exact", nil))
+	line := buf.String()
+	if !strings.Contains(line, "POST /v1/plan/exact 429") || !strings.Contains(line, "outcome=shed") {
+		t.Fatalf("log line %q missing status or outcome", line)
 	}
 }

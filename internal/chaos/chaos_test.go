@@ -1,0 +1,343 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"respat/internal/service"
+)
+
+// planBody builds a /v1/plan/exact body for the i-th synthetic
+// configuration: distinct i give distinct cache keys, so every request
+// is a cold plan.
+func planBody(i int) string {
+	return fmt.Sprintf(
+		`{"kind":"PD","costs":{"DiskCkpt":%d,"DiskRec":30,"Recall":1},"rates":{"FailStop":1e-7}}`,
+		60+i)
+}
+
+func exactRequest(i int) *http.Request {
+	req := httptest.NewRequest("POST", "/v1/plan/exact", strings.NewReader(planBody(i)))
+	req.Header.Set("Content-Type", "application/json")
+	return req
+}
+
+// metricsSnapshot fetches and decodes GET /metrics.
+func metricsSnapshot(t *testing.T, h http.Handler) service.Snapshot {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics returned %d", rec.Code)
+	}
+	var snap service.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	return snap
+}
+
+// TestOverloadInvariants is the core chaos scenario: planner slowed
+// far beyond its natural latency, closed-loop load at several times
+// the worker+queue capacity, all requests for distinct (cold) keys.
+// Invariants:
+//
+//   - every request resolves to 200, 429 or 503 — nothing hangs, no
+//     5xx surprises;
+//   - some requests are shed (the load really exceeded capacity) and
+//     some succeed (shedding is not total collapse);
+//   - the queue-depth high-water mark never exceeds the configured
+//     bound;
+//   - after the drive drains, goroutines return to baseline (no leaked
+//     flights, workers or waiters);
+//   - the service recovers: a post-overload cold request succeeds.
+func TestOverloadInvariants(t *testing.T) {
+	const workers, queue = 2, 4
+	inj := &Injector{PlannerDelay: 20 * time.Millisecond, PlannerJitter: 5 * time.Millisecond, Seed: 1}
+	svc := service.New(inj.Apply(service.Config{ColdWorkers: workers, ColdQueue: queue}))
+	h := svc.Handler()
+
+	baseline := runtime.NumGoroutine()
+	rep := Drive(h, Options{
+		Clients:    4 * (workers + queue), // 4x total capacity
+		Requests:   96,
+		NewRequest: exactRequest,
+	})
+
+	counts := rep.StatusCounts()
+	for status := range counts {
+		if status != http.StatusOK && status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+			t.Errorf("unexpected status %d (%d requests)", status, counts[status])
+		}
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Error("no request succeeded under overload")
+	}
+	if counts[http.StatusTooManyRequests] == 0 {
+		t.Error("no request was shed at 4x capacity")
+	}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if r.Status == http.StatusTooManyRequests {
+			if r.Outcome != "shed" {
+				t.Errorf("request %d: 429 outcome = %q, want shed", i, r.Outcome)
+			}
+			if r.RetryAfter < 1 || r.RetryAfter > 60 {
+				t.Errorf("request %d: Retry-After = %d, want within [1, 60]", i, r.RetryAfter)
+			}
+		}
+	}
+
+	snap := metricsSnapshot(t, h)
+	if snap.ColdQueueMax > queue {
+		t.Errorf("queue high-water %d exceeds bound %d", snap.ColdQueueMax, queue)
+	}
+	if snap.Shed == 0 || snap.Admitted == 0 {
+		t.Errorf("metrics: admitted=%d shed=%d, want both positive", snap.Admitted, snap.Shed)
+	}
+	if snap.Shed+snap.Admitted < int64(len(rep.Results)) {
+		// Coalescing can make admitted < requests, but every request
+		// either hit the cache, was admitted, or was shed; with unique
+		// keys admitted+shed covers all of them.
+		t.Errorf("admitted+shed = %d, want >= %d", snap.Shed+snap.Admitted, len(rep.Results))
+	}
+
+	if n := WaitGoroutines(baseline, 5*time.Second); n > baseline {
+		t.Errorf("goroutines did not drain: %d, baseline %d", n, baseline)
+	}
+	if snap := metricsSnapshot(t, h); snap.ColdQueueDepth != 0 {
+		t.Errorf("queue depth %d after drain, want 0", snap.ColdQueueDepth)
+	}
+
+	// Monotone shed -> recover: with the overload gone, a fresh cold
+	// request must be admitted and succeed.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, exactRequest(1000))
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-overload request returned %d, want 200", rec.Code)
+	}
+}
+
+// TestHitLatencyBoundedUnderOverload: cache hits bypass the gate, so a
+// warmed key stays fast even while the planner is drowning in slowed
+// cold plans.
+func TestHitLatencyBoundedUnderOverload(t *testing.T) {
+	inj := &Injector{PlannerDelay: 20 * time.Millisecond, Seed: 2}
+	svc := service.New(inj.Apply(service.Config{ColdWorkers: 1, ColdQueue: 2}))
+	h := svc.Handler()
+
+	// Warm one key (slowly — it pays the injected delay once).
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, exactRequest(0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warming request returned %d", rec.Code)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Drive(h, Options{Clients: 8, Requests: 48, NewRequest: func(i int) *http.Request {
+			return exactRequest(i + 1) // all cold
+		}})
+	}()
+	rep := Drive(h, Options{Clients: 2, Requests: 200, NewRequest: func(i int) *http.Request {
+		return exactRequest(0) // all hits
+	}})
+	<-done
+
+	for i := range rep.Results {
+		if rep.Results[i].Status != http.StatusOK {
+			t.Fatalf("hit request %d returned %d", i, rep.Results[i].Status)
+		}
+	}
+	// The hit path is sub-microsecond in steady state; the bound is
+	// generous because CI schedulers stall, but a hit that waits on the
+	// planner queue would take >= 20ms and trip it.
+	if p99 := rep.LatencyQuantile(0.99, nil); p99 >= 15*time.Millisecond {
+		t.Errorf("hit p99 = %v under overload, want < 15ms", p99)
+	}
+}
+
+// TestDegradedByteStable: in degraded mode, shed requests serve the
+// first-order fallback with "degraded":true, and repeated degraded
+// responses for one configuration are byte-identical.
+func TestDegradedByteStable(t *testing.T) {
+	inj := &Injector{PlannerDelay: 50 * time.Millisecond, Seed: 3}
+	svc := service.New(inj.Apply(service.Config{ColdWorkers: 1, ColdQueue: 1, Degraded: true}))
+	h := svc.Handler()
+
+	// Saturate the single worker and the one-deep queue with two slow
+	// cold plans, then request a third configuration repeatedly: the
+	// gate sheds it, degraded mode answers it.
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, exactRequest(100+i))
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let both occupy slot + queue
+
+	var bodies [][]byte
+	for try := 0; try < 5; try++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, exactRequest(0))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("degraded request returned %d: %s", rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get(service.OutcomeHeader); got != "degraded" {
+			t.Fatalf("outcome header = %q, want degraded", got)
+		}
+		bodies = append(bodies, rec.Body.Bytes())
+	}
+	for i, b := range bodies[1:] {
+		if !bytes.Equal(b, bodies[0]) {
+			t.Errorf("degraded response %d differs: %s vs %s", i+1, b, bodies[0])
+		}
+	}
+	var resp service.PlanResponse
+	if err := json.Unmarshal(bodies[0], &resp); err != nil {
+		t.Fatalf("decode degraded response: %v", err)
+	}
+	if !resp.Degraded {
+		t.Error(`degraded response lacks "degraded":true`)
+	}
+	if resp.DegradedDelta < 0 {
+		t.Errorf("degradedDelta = %g, want >= 0 (first-order underestimates)", resp.DegradedDelta)
+	}
+	if snap := metricsSnapshot(t, h); snap.Degraded < 5 {
+		t.Errorf("degraded counter = %d, want >= 5", snap.Degraded)
+	}
+
+	// Degraded responses are never cached: once the overload clears,
+	// the same configuration computes the exact plan.
+	WaitGoroutines(runtime.NumGoroutine(), 2*time.Second)
+	time.Sleep(120 * time.Millisecond) // let the two slow plans finish
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, exactRequest(0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-overload request returned %d", rec.Code)
+	}
+	var exact service.PlanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Degraded {
+		t.Error("post-overload response is still degraded: degraded body was cached")
+	}
+	if !exact.Exact {
+		t.Error("post-overload response is not the exact plan")
+	}
+}
+
+// TestInjectedErrorsNotCached: a forced cold-plan failure surfaces as
+// an error response, and the failure is not cached — the same request
+// succeeds once the fault is disarmed.
+func TestInjectedErrorsNotCached(t *testing.T) {
+	inj := &Injector{Seed: 4}
+	inj.SetFailEvery(1) // every cold plan fails
+	svc := service.New(inj.Apply(service.Config{ColdWorkers: 2, ColdQueue: 2}))
+	h := svc.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, exactRequest(0))
+	if rec.Code == http.StatusOK {
+		t.Fatalf("injected fault did not fail the request (status %d)", rec.Code)
+	}
+	inj.SetFailEvery(0)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, exactRequest(0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after disarming returned %d, want 200 (error was cached?)", rec.Code)
+	}
+}
+
+// TestRetryAfterClampedUnderClockSkew: a wildly scaled and skewed
+// service clock corrupts the cold-plan latency observations, but the
+// Retry-After advice stays within [1, 60] seconds.
+func TestRetryAfterClampedUnderClockSkew(t *testing.T) {
+	inj := &Injector{
+		PlannerDelay: 10 * time.Millisecond,
+		ClockSkew:    -3 * time.Hour,
+		ClockScale:   1e5, // 10ms of real delay reads as ~1000s
+		Seed:         5,
+	}
+	svc := service.New(inj.Apply(service.Config{ColdWorkers: 1, ColdQueue: 1}))
+	h := svc.Handler()
+
+	rep := Drive(h, Options{Clients: 12, Requests: 48, NewRequest: exactRequest})
+	shed := 0
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if r.Status != http.StatusTooManyRequests {
+			continue
+		}
+		shed++
+		if r.RetryAfter < 1 || r.RetryAfter > 60 {
+			t.Errorf("request %d: Retry-After = %d under clock chaos, want within [1, 60]", i, r.RetryAfter)
+		}
+	}
+	if shed == 0 {
+		t.Error("no request was shed; the clamp was never exercised")
+	}
+}
+
+// TestDeadlineExceeded: a budget far below the injected planner
+// latency yields 503 with the deadline outcome, and the abandoned
+// computation does not leak.
+func TestDeadlineExceeded(t *testing.T) {
+	inj := &Injector{PlannerDelay: 50 * time.Millisecond, Seed: 6}
+	svc := service.New(inj.Apply(service.Config{ColdWorkers: 2, ColdQueue: 2}))
+	h := svc.Handler()
+	baseline := runtime.NumGoroutine()
+
+	req := exactRequest(0)
+	req.Header.Set(service.TimeoutHeader, "5ms")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(service.OutcomeHeader); got != "deadline-exceeded" {
+		t.Errorf("outcome header = %q, want deadline-exceeded", got)
+	}
+	if !strings.Contains(rec.Body.String(), "deadline") {
+		t.Errorf("body %q does not mention the deadline", rec.Body.String())
+	}
+	if snap := metricsSnapshot(t, h); snap.DeadlineExceeded == 0 {
+		t.Error("deadlineExceeded counter not incremented")
+	}
+	if n := WaitGoroutines(baseline, 5*time.Second); n > baseline {
+		t.Errorf("abandoned flight leaked goroutines: %d, baseline %d", n, baseline)
+	}
+
+	// An invalid budget is a client error, not a crash.
+	req = exactRequest(1)
+	req.Header.Set(service.TimeoutHeader, "soon")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad budget header: status = %d, want 400", rec.Code)
+	}
+}
+
+// TestJitterDeterministic pins the injector's jitter stream: same
+// seed, same sequence.
+func TestJitterDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		a := splitmix64(seed)
+		b := splitmix64(seed)
+		if a != b {
+			t.Fatalf("splitmix64(%d) unstable: %d vs %d", seed, a, b)
+		}
+	}
+	if splitmix64(1) == splitmix64(2) {
+		t.Error("distinct seeds collide")
+	}
+}

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"respat/internal/service"
+)
+
+// Options configures one closed-loop drive.
+type Options struct {
+	// Clients is the number of concurrent closed-loop clients: each
+	// sends its next request only after the previous one completed
+	// (default 8). Offered load is therefore bounded by service
+	// latency, as with real callers.
+	Clients int
+	// Requests is the total number of requests across all clients
+	// (default Clients).
+	Requests int
+	// NewRequest builds request i (0-based). Required. It must return
+	// a fresh request each call — requests are consumed by ServeHTTP.
+	NewRequest func(i int) *http.Request
+}
+
+// Result is one request's disposition.
+type Result struct {
+	Status  int
+	Outcome string // the X-Respatd-Outcome header ("" when absent)
+	// RetryAfter is the parsed Retry-After header in seconds, 0 when
+	// absent.
+	RetryAfter int
+	Body       []byte
+	Latency    time.Duration
+}
+
+// Report aggregates one drive.
+type Report struct {
+	Results []Result // indexed by request number
+}
+
+// StatusCounts tallies results by HTTP status.
+func (r *Report) StatusCounts() map[int]int {
+	out := make(map[int]int)
+	for i := range r.Results {
+		out[r.Results[i].Status]++
+	}
+	return out
+}
+
+// OutcomeCounts tallies results by overload disposition.
+func (r *Report) OutcomeCounts() map[string]int {
+	out := make(map[string]int)
+	for i := range r.Results {
+		if o := r.Results[i].Outcome; o != "" {
+			out[o]++
+		}
+	}
+	return out
+}
+
+// LatencyQuantile returns the q-quantile (0..1) of the request
+// latencies, nearest-rank, over results matching keep (nil keeps all).
+func (r *Report) LatencyQuantile(q float64, keep func(Result) bool) time.Duration {
+	var lat []time.Duration
+	for i := range r.Results {
+		if keep == nil || keep(r.Results[i]) {
+			lat = append(lat, r.Results[i].Latency)
+		}
+	}
+	if len(lat) == 0 {
+		return 0
+	}
+	// Insertion sort: the windows here are test-sized.
+	for i := 1; i < len(lat); i++ {
+		for j := i; j > 0 && lat[j] < lat[j-1]; j-- {
+			lat[j], lat[j-1] = lat[j-1], lat[j]
+		}
+	}
+	idx := int(q * float64(len(lat)-1))
+	return lat[idx]
+}
+
+// Drive runs a closed-loop load of opts against h (in-process, no
+// sockets) and reports every request's disposition. It returns only
+// after every client finished, so the handler has no requests in
+// flight when Drive returns — background flights may still be
+// draining; see WaitGoroutines.
+func Drive(h http.Handler, opts Options) *Report {
+	if opts.Clients <= 0 {
+		opts.Clients = 8
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = opts.Clients
+	}
+	rep := &Report{Results: make([]Result, opts.Requests)}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests {
+					return
+				}
+				req := opts.NewRequest(i)
+				rec := httptest.NewRecorder()
+				start := time.Now()
+				h.ServeHTTP(rec, req)
+				res := &rep.Results[i]
+				res.Latency = time.Since(start)
+				res.Status = rec.Code
+				res.Outcome = rec.Header().Get(service.OutcomeHeader)
+				if ra := rec.Header().Get("Retry-After"); ra != "" {
+					res.RetryAfter, _ = strconv.Atoi(ra)
+				}
+				res.Body = rec.Body.Bytes()
+			}
+		}()
+	}
+	wg.Wait()
+	return rep
+}
+
+// WaitGoroutines polls until the process goroutine count is at most
+// baseline (plus slack for runtime helpers) or the timeout elapses,
+// returning the final count. The chaos suite uses it to assert
+// abandoned flights and queued cold plans all drain.
+func WaitGoroutines(baseline int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}

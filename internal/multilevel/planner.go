@@ -1,6 +1,7 @@
 package multilevel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -166,7 +167,10 @@ func (pl *Planner) ensurePool(n int) error {
 
 // runRound fans the n cells out over the context pool: each worker
 // claims one pooled context and threads it through the cells it runs.
-func (pl *Planner) runRound(n int, cell func(ctx *searchCtx, i int) error) error {
+// Every cell checks the request context first, so an abandoned plan
+// (ctx cancelled) aborts within one candidate evaluation instead of
+// finishing the round.
+func (pl *Planner) runRound(ctx context.Context, n int, cell func(ctx *searchCtx, i int) error) error {
 	workers := pl.workers
 	if workers > n {
 		workers = n
@@ -180,7 +184,12 @@ func (pl *Planner) runRound(n int, cell func(ctx *searchCtx, i int) error) error
 	pl.poolNext.Store(0)
 	return sched.RunCellsCtx(n, pl.workers, func() (*searchCtx, error) {
 		return pl.pool[pl.poolNext.Add(1)-1], nil
-	}, cell)
+	}, func(sc *searchCtx, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return cell(sc, i)
+	})
 }
 
 // SetWorkers bounds the parallel fan-out of exact candidate
@@ -218,6 +227,34 @@ func OptimizeWithEvaluator(ev *Evaluator) (Plan, error) {
 	return PlannerFor(ev).Plan()
 }
 
+// FirstOrderPlan returns the Definition 1 first-order optimum — the
+// same (level-vector, m, W) seed the exact search starts from, with W
+// = sqrt(oef/orw) — without running any exact evaluation. Unlike the
+// Plans of Optimize, the returned Overhead is the first-order
+// prediction 2·sqrt(oef·orw), not the exact-model overhead. It is the
+// graceful-degradation fallback of the planning service: O(L·log²)
+// closed-form arithmetic, deterministic, allocation-light, never
+// admission-gated.
+func FirstOrderPlan(p Params) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if p.Rates.Total() == 0 {
+		return Plan{}, fmt.Errorf("multilevel: both error rates are zero; no finite optimal pattern")
+	}
+	L := p.L()
+	seed := make([]int, L-1)
+	counts := make([]int, L)
+	m := firstOrderSeed(p, seed, counts)
+	fillCounts(counts, seed)
+	oef, orw := p.FirstOrder(counts, m)
+	w := xmath.SqrtRatio(oef, orw)
+	if math.IsInf(w, 1) || math.IsNaN(w) || w <= 0 {
+		return Plan{}, fmt.Errorf("multilevel: no finite first-order optimum for n=%v m=%d", counts, m)
+	}
+	return Plan{Spec: UniformSpec(w, seed, m), Overhead: 2 * math.Sqrt(oef*orw)}, nil
+}
+
 // Plan runs the pruned parallel search:
 //
 //  1. a first-order stage minimises the oef·orw product of Definition
@@ -248,8 +285,22 @@ func OptimizeWithEvaluator(ev *Evaluator) (Plan, error) {
 // sequential nested convex search of the pre-pruning planner is
 // asserted across the Table 2 grid by TestPlannerGoldenParity.
 func (pl *Planner) Plan() (Plan, error) {
+	return pl.PlanCtx(context.Background())
+}
+
+// PlanCtx is Plan under a cancellation context: when ctx is cancelled
+// or expires the search aborts — within one candidate evaluation —
+// and returns ctx's error, never a partial plan. Cancellation cannot
+// change the bits of a successful result: a cancelled search returns
+// only the error (there is a final ctx check before the plan is
+// assembled), so every Plan that is returned ran the full
+// deterministic reduction.
+func (pl *Planner) PlanCtx(ctx context.Context) (Plan, error) {
 	p := pl.ev.Params()
 	pl.stats = SearchStats{Workers: pl.workers}
+	if err := ctx.Err(); err != nil {
+		return Plan{}, err
+	}
 	if p.Rates.Total() == 0 {
 		return Plan{}, fmt.Errorf("multilevel: both error rates are zero; no finite optimal pattern")
 	}
@@ -274,7 +325,7 @@ func (pl *Planner) Plan() (Plan, error) {
 	if box > maxEnumCandidates {
 		pl.stats.Fallback = true
 		pl.stats.Candidates = box
-		return optimizeNested(pl.ev, maxM, pl.caps, &pl.stats)
+		return optimizeNested(ctx, pl.ev, maxM, pl.caps, &pl.stats)
 	}
 	pl.stats.Candidates = box
 
@@ -294,7 +345,7 @@ func (pl *Planner) Plan() (Plan, error) {
 		// screening against it would be meaningless, so run the
 		// exhaustive-by-convexity nested search instead.
 		pl.stats.Fallback = true
-		return optimizeNested(pl.ev, maxM, pl.caps, &pl.stats)
+		return optimizeNested(ctx, pl.ev, maxM, pl.caps, &pl.stats)
 	}
 
 	// Bound-and-prune pass (sequential, O(L·log m) per candidate).
@@ -323,7 +374,7 @@ func (pl *Planner) Plan() (Plan, error) {
 	screenH := pl.screenH
 	pl.stats.Screened = len(surv)
 	pl.stats.Leaves += len(surv)
-	err := pl.runRound(len(surv), func(ctx *searchCtx, i int) error {
+	err := pl.runRound(ctx, len(surv), func(ctx *searchCtx, i int) error {
 		branch := ctx.scratchBranch(len(pl.caps))
 		pl.decode(surv[i], branch)
 		screenH[i] = ctx.screenCandidate(branch, incumbent.m)
@@ -355,7 +406,7 @@ func (pl *Planner) Plan() (Plan, error) {
 	pl.results = resize(pl.results, len(refine))
 	results := pl.results
 	pl.stats.Evaluated += len(refine)
-	err = pl.runRound(len(refine), func(ctx *searchCtx, i int) error {
+	err = pl.runRound(ctx, len(refine), func(ctx *searchCtx, i int) error {
 		branch := ctx.scratchBranch(len(pl.caps))
 		pl.decode(refine[i], branch)
 		results[i] = ctx.evalCandidate(branch, maxM)
@@ -382,6 +433,12 @@ func (pl *Planner) Plan() (Plan, error) {
 	}
 	if math.IsInf(best.h, 1) || math.IsNaN(best.h) {
 		return Plan{}, fmt.Errorf("multilevel: optimisation diverged")
+	}
+	// Final cancellation check: a cancelled search may have parked
+	// arbitrary leaves at +Inf, so its reduction must never be served
+	// as if it were the full search's.
+	if err := ctx.Err(); err != nil {
+		return Plan{}, err
 	}
 	pl.decode(bestIdx, pl.branch)
 	return Plan{Spec: UniformSpec(best.w, pl.branch, best.m), Overhead: best.h}, nil

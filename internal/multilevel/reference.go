@@ -1,6 +1,7 @@
 package multilevel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,7 +24,7 @@ import (
 // Leaves run through the same optimizeW as the parallel path, so the
 // two searches share every floating-point operation and differ only in
 // how they walk the box.
-func optimizeNested(ev *Evaluator, maxM int, caps []int, stats *SearchStats) (Plan, error) {
+func optimizeNested(ctx context.Context, ev *Evaluator, maxM int, caps []int, stats *SearchStats) (Plan, error) {
 	memo := make(map[[MaxLevels]int]wEval)
 	branch := make([]int, len(caps))
 	counts := make([]int, len(caps)+1)
@@ -33,6 +34,9 @@ func optimizeNested(ev *Evaluator, maxM int, caps []int, stats *SearchStats) (Pl
 		key[MaxLevels-1] = m
 		if e, ok := memo[key]; ok {
 			return e
+		}
+		if err := ctx.Err(); err != nil {
+			return wEval{err: err}
 		}
 		fillCounts(counts, branch)
 		e := optimizeW(ev, counts, m)
@@ -75,6 +79,11 @@ func optimizeNested(ev *Evaluator, maxM int, caps []int, stats *SearchStats) (Pl
 	if math.IsInf(best.h, 1) || math.IsNaN(best.h) {
 		return Plan{}, fmt.Errorf("multilevel: optimisation diverged")
 	}
+	// A cancelled search parked leaves at +Inf; never serve its
+	// reduction as if the full search had run.
+	if err := ctx.Err(); err != nil {
+		return Plan{}, err
+	}
 	stats.Leaves += len(memo)
 	stats.Evaluated += len(memo)
 	return Plan{Spec: UniformSpec(best.w, branch, m), Overhead: best.h}, nil
@@ -103,5 +112,5 @@ func optimizeReference(ev *Evaluator) (Plan, error) {
 		maxM = 1
 	}
 	var stats SearchStats
-	return optimizeNested(ev, maxM, caps, &stats)
+	return optimizeNested(context.Background(), ev, maxM, caps, &stats)
 }

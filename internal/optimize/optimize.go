@@ -11,6 +11,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -96,7 +97,7 @@ func ExactFrom(first analytic.Plan, c core.Costs, r core.Rates) (ExactPlan, erro
 	if err != nil {
 		return ExactPlan{}, err
 	}
-	return exactFrom(ev, first)
+	return exactFrom(context.Background(), ev, first)
 }
 
 // ExactWithEvaluator is ExactFrom on a caller-supplied evaluator, for
@@ -106,11 +107,21 @@ func ExactFrom(first analytic.Plan, c core.Costs, r core.Rates) (ExactPlan, erro
 // caller is responsible for serialising access to ev (an Evaluator is
 // not safe for concurrent use).
 func ExactWithEvaluator(ev *analytic.Evaluator, first analytic.Plan) (ExactPlan, error) {
-	return exactFrom(ev, first)
+	return exactFrom(context.Background(), ev, first)
+}
+
+// ExactWithEvaluatorCtx is ExactWithEvaluator under a cancellation
+// context: when ctx is cancelled or expires the integer (n, m) search
+// aborts — within one golden-section leaf — and returns ctx's error,
+// never a partial plan (there is a final ctx check before the plan is
+// assembled). The planning service threads each request's deadline
+// through here so an abandoned cold plan stops searching.
+func ExactWithEvaluatorCtx(ctx context.Context, ev *analytic.Evaluator, first analytic.Plan) (ExactPlan, error) {
+	return exactFrom(ctx, ev, first)
 }
 
 // exactFrom runs the integer (n, m) search on a shared evaluator.
-func exactFrom(ev *analytic.Evaluator, first analytic.Plan) (ExactPlan, error) {
+func exactFrom(ctx context.Context, ev *analytic.Evaluator, first analytic.Plan) (ExactPlan, error) {
 	k, c := first.Kind, ev.Costs()
 	maxN, maxM := 1, 1
 	if k.MultiSegment() {
@@ -129,6 +140,9 @@ func exactFrom(ev *analytic.Evaluator, first analytic.Plan) (ExactPlan, error) {
 		key := [2]int{n, m}
 		if e, ok := memo[key]; ok {
 			return e
+		}
+		if err := ctx.Err(); err != nil {
+			return eval{err: err}
 		}
 		w, h, err := optimizeW(ev, k, n, m)
 		e := eval{w: w, h: h, err: err}
@@ -155,6 +169,11 @@ func exactFrom(ev *analytic.Evaluator, first analytic.Plan) (ExactPlan, error) {
 	m, best := bestM(n)
 	if best.err != nil {
 		return ExactPlan{}, best.err
+	}
+	// A cancelled search parked leaves at +Inf, so its argmin is not
+	// the true one; return the cancellation, never a partial plan.
+	if err := ctx.Err(); err != nil {
+		return ExactPlan{}, err
 	}
 	pat, err := core.Layout(k, best.w, n, m, c.Recall)
 	if err != nil {
@@ -190,7 +209,7 @@ func Compare(k core.Kind, c core.Costs, r core.Rates) (Comparison, error) {
 	if err != nil {
 		return Comparison{}, err
 	}
-	exact, err := exactFrom(ev, first)
+	exact, err := exactFrom(context.Background(), ev, first)
 	if err != nil {
 		return Comparison{}, err
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"respat/internal/analytic"
@@ -56,11 +57,17 @@ type entry struct {
 }
 
 // flight is one in-progress computation that concurrent requests for
-// the same key coalesce onto.
+// the same key coalesce onto. The computation runs in its own
+// goroutine under a flight-owned context that is cancelled when the
+// last interested request abandons (refs drops to zero) — an orphaned
+// cold plan stops searching instead of burning a worker slot for a
+// response nobody will read.
 type flight struct {
-	wg   sync.WaitGroup
-	resp []byte
-	err  error
+	done   chan struct{} // closed when the computation finished
+	cancel context.CancelFunc
+	refs   int // interested waiters; guarded by the shard mutex
+	resp   []byte
+	err    error
 }
 
 // newCache builds a cache with shardCount shards (rounded up to a power
@@ -123,41 +130,84 @@ func (c *cache) get(key Key) ([]byte, bool) {
 
 // getOrCompute returns the cached response for key, coalescing
 // concurrent misses: among racing requests for the same key exactly one
-// runs compute; the rest wait for its result. A successful result is
-// inserted into the LRU before the waiters are released. The returned
-// bytes are shared and must be treated as read-only.
-func (c *cache) getOrCompute(key Key, compute func() ([]byte, error)) ([]byte, error) {
+// starts compute (in a flight-owned goroutine); the rest wait for its
+// result. A successful result is inserted into the LRU before the
+// waiters are released; errors — including cancellations — are never
+// cached. Every waiter waits under its own ctx: a request whose
+// deadline expires abandons the flight (returning ctx.Err()) without
+// disturbing the other waiters, and when the last waiter abandons, the
+// flight's context is cancelled so compute can stop early. The
+// returned bytes are shared and must be treated as read-only.
+func (c *cache) getOrCompute(ctx context.Context, key Key, compute func(context.Context) ([]byte, error)) ([]byte, error) {
 	s := c.shard(key)
-	s.mu.Lock()
-	if el, ok := s.entries[key]; ok {
-		s.lru.MoveToFront(el)
-		resp := el.Value.(*entry).resp
+	for {
+		s.mu.Lock()
+		if el, ok := s.entries[key]; ok {
+			s.lru.MoveToFront(el)
+			resp := el.Value.(*entry).resp
+			s.mu.Unlock()
+			c.m.Hits.Add(1)
+			return resp, nil
+		}
+		if f, ok := s.inflight[key]; ok {
+			if f.refs > 0 {
+				f.refs++
+				s.mu.Unlock()
+				c.m.Coalesced.Add(1)
+				return f.wait(ctx, s)
+			}
+			// Dying flight: every waiter abandoned and cancellation is
+			// in progress. Joining it would only inherit the stale
+			// cancellation error, so wait for it to clear and retry.
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		fctx, cancel := context.WithCancel(context.Background())
+		f := &flight{done: make(chan struct{}), cancel: cancel, refs: 1}
+		s.inflight[key] = f
 		s.mu.Unlock()
-		c.m.Hits.Add(1)
-		return resp, nil
+		c.m.Misses.Add(1)
+		go c.run(s, key, f, fctx, compute)
+		return f.wait(ctx, s)
 	}
-	if f, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		c.m.Coalesced.Add(1)
-		f.wg.Wait()
-		return f.resp, f.err
-	}
-	f := &flight{}
-	f.wg.Add(1)
-	s.inflight[key] = f
-	s.mu.Unlock()
-	c.m.Misses.Add(1)
+}
 
-	f.resp, f.err = compute()
-
+// run executes one flight's computation and publishes the outcome.
+func (c *cache) run(s *shard, key Key, f *flight, fctx context.Context, compute func(context.Context) ([]byte, error)) {
+	resp, err := compute(fctx)
+	f.cancel() // release the flight context's resources
 	s.mu.Lock()
+	f.resp, f.err = resp, err
 	delete(s.inflight, key)
-	if f.err == nil {
-		c.m.Evictions.Add(int64(s.insertLocked(key, f.resp)))
+	if err == nil {
+		c.m.Evictions.Add(int64(s.insertLocked(key, resp)))
 	}
 	s.mu.Unlock()
-	f.wg.Done()
-	return f.resp, f.err
+	close(f.done)
+}
+
+// wait blocks until the flight finishes or ctx is done, whichever
+// comes first. An abandoning waiter drops its reference; the last one
+// out cancels the flight's computation.
+func (f *flight) wait(ctx context.Context, s *shard) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.resp, f.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		f.refs--
+		last := f.refs == 0
+		s.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, ctx.Err()
+	}
 }
 
 // insertLocked adds a response under s.mu, evicting least recently used

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,7 +38,7 @@ func TestCoalescingComputesOnce(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			resp, err := c.getOrCompute(key, func() ([]byte, error) {
+			resp, err := c.getOrCompute(context.Background(), key, func(context.Context) ([]byte, error) {
 				arrived <- struct{}{}
 				<-gate
 				computes.Add(1)
@@ -90,7 +91,7 @@ func TestScatteredKeysComputeOncePerKey(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < keys; i++ {
 				i := (i + g) % keys // stagger start offsets per goroutine
-				_, err := c.getOrCompute(testKey(i), func() ([]byte, error) {
+				_, err := c.getOrCompute(context.Background(), testKey(i), func(context.Context) ([]byte, error) {
 					computes[i].Add(1)
 					return []byte(fmt.Sprintf(`{"v":%d}`, i)), nil
 				})
@@ -123,7 +124,7 @@ func TestLRUEviction(t *testing.T) {
 	var computes atomic.Int32
 	get := func(i int) {
 		t.Helper()
-		if _, err := c.getOrCompute(testKey(i), func() ([]byte, error) {
+		if _, err := c.getOrCompute(context.Background(), testKey(i), func(context.Context) ([]byte, error) {
 			computes.Add(1)
 			return []byte(`{}`), nil
 		}); err != nil {
@@ -170,7 +171,7 @@ func TestErrorsNotCached(t *testing.T) {
 	boom := errors.New("boom")
 	var calls atomic.Int32
 	for i := 0; i < 3; i++ {
-		_, err := c.getOrCompute(key, func() ([]byte, error) {
+		_, err := c.getOrCompute(context.Background(), key, func(context.Context) ([]byte, error) {
 			calls.Add(1)
 			return nil, boom
 		})

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"respat/internal/core"
@@ -18,6 +20,31 @@ const (
 	maxRequestBytes      = 1 << 20  // 1 MiB
 	maxBatchRequestBytes = 16 << 20 // 16 MiB
 	maxBatchItems        = 10000
+)
+
+// TimeoutHeader is the request header carrying a per-request deadline
+// budget as a Go duration ("250ms", "2s"). It overrides the service's
+// DefaultTimeout; requests without either run unbounded.
+const TimeoutHeader = "X-Request-Timeout"
+
+// OutcomeHeader is the response header labelling a request's overload
+// disposition ("shed", "degraded", "deadline-exceeded"); absent on
+// ordinary responses. The daemon's request log echoes it.
+const OutcomeHeader = "X-Respatd-Outcome"
+
+// maxRequestTimeout caps the budget a client may ask for; anything
+// longer is clamped rather than rejected (the client asked for
+// patience, it gets the maximum the service grants).
+const maxRequestTimeout = 10 * time.Minute
+
+// outcome labels a request's overload disposition for the outcome
+// header and the daemon request log.
+type outcome string
+
+const (
+	outcomeShed     outcome = "shed"
+	outcomeDegraded outcome = "degraded"
+	outcomeDeadline outcome = "deadline-exceeded"
 )
 
 // PlanRequest is the body of POST /v1/plan and /v1/plan/exact, and the
@@ -114,17 +141,20 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), s.SessionCount()))
+		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), s.SessionCount(), s.gate))
 	})
 	return mux
 }
 
 // opHandler is one endpoint's body: it returns the response bytes or an
-// error with an HTTP status.
-type opHandler func(r *http.Request) ([]byte, int, error)
+// error with an HTTP status, and may label the request's overload
+// disposition through out.
+type opHandler func(r *http.Request, out *outcome) ([]byte, int, error)
 
-// instrument wraps an endpoint with the in-flight gauge, the request
-// body limit, latency recording and the error envelope.
+// instrument wraps an endpoint with the in-flight gauge, the
+// per-request deadline budget, the request body limit, latency
+// recording, overload classification (shed → 429 + Retry-After,
+// expired budget → 503) and the error envelope.
 func (s *Service) instrument(ep endpointID, maxBytes int64, h opHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.InFlight.Add(1)
@@ -136,46 +166,109 @@ func (s *Service) instrument(ep endpointID, maxBytes int64, h opHandler) http.Ha
 			s.metrics.InFlight.Add(-1)
 			s.metrics.observe(ep, float64(time.Since(start).Nanoseconds()), failed)
 		}()
+		budget, err := requestBudget(r, s.cfg.DefaultTimeout)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		if budget > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
-		body, status, err := h(r)
+		var out outcome
+		body, status, err := h(r, &out)
 		failed = err != nil
 		if err != nil {
 			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
+			switch {
+			case errors.As(err, &tooBig):
 				status = http.StatusRequestEntityTooLarge
+			case errors.Is(err, ErrShed):
+				// Load shed: advise the client when to come back,
+				// derived from the observed cold-plan latencies.
+				status = http.StatusTooManyRequests
+				out = outcomeShed
+				w.Header().Set("Retry-After", strconv.Itoa(s.gate.retryAfter()))
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled), errors.Is(err, ErrTooTight):
+				status = http.StatusServiceUnavailable
+				out = outcomeDeadline
+				s.metrics.DeadlineExceeded.Add(1)
+				err = fmt.Errorf("deadline exceeded: %w", err)
 			}
+			setOutcome(w, out)
 			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
 		}
+		setOutcome(w, out)
 		writeBytes(w, status, body)
 	}
 }
 
-func (s *Service) handlePlan(r *http.Request) ([]byte, int, error) {
+// setOutcome stamps the overload-disposition header when one applies.
+func setOutcome(w http.ResponseWriter, out outcome) {
+	if out != "" {
+		w.Header().Set(OutcomeHeader, string(out))
+	}
+}
+
+// requestBudget resolves a request's deadline budget: the
+// TimeoutHeader duration when present (clamped to maxRequestTimeout),
+// else the service default; 0 means unbounded.
+func requestBudget(r *http.Request, def time.Duration) (time.Duration, error) {
+	hdr := r.Header.Get(TimeoutHeader)
+	if hdr == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(hdr)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s header: %w", TimeoutHeader, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad %s header: %v is not positive", TimeoutHeader, d)
+	}
+	return min(d, maxRequestTimeout), nil
+}
+
+// degradable reports whether err should be answered with the
+// first-order degraded plan instead of an overload failure.
+func (s *Service) degradable(err error) bool {
+	return s.cfg.Degraded && (errors.Is(err, ErrShed) || errors.Is(err, ErrTooTight))
+}
+
+func (s *Service) handlePlan(r *http.Request, out *outcome) ([]byte, int, error) {
 	kind, costs, rates, err := decodePlanRequest(r)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	body, err := s.Plan(kind, costs, rates)
+	body, err := s.PlanCtx(r.Context(), kind, costs, rates)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
 	return body, http.StatusOK, nil
 }
 
-func (s *Service) handlePlanExact(r *http.Request) ([]byte, int, error) {
+func (s *Service) handlePlanExact(r *http.Request, out *outcome) ([]byte, int, error) {
 	kind, costs, rates, err := decodePlanRequest(r)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	body, err := s.PlanExact(kind, costs, rates)
+	body, err := s.PlanExactCtx(r.Context(), kind, costs, rates)
 	if err != nil {
+		if s.degradable(err) {
+			if body, derr := s.DegradedPlanExact(kind, costs, rates); derr == nil {
+				*out = outcomeDegraded
+				s.metrics.Degraded.Add(1)
+				return body, http.StatusOK, nil
+			}
+		}
 		return nil, http.StatusBadRequest, err
 	}
 	return body, http.StatusOK, nil
 }
 
-func (s *Service) handleEvaluate(r *http.Request) ([]byte, int, error) {
+func (s *Service) handleEvaluate(r *http.Request, out *outcome) ([]byte, int, error) {
 	var req EvaluateRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, http.StatusBadRequest, err
@@ -194,7 +287,7 @@ func (s *Service) handleEvaluate(r *http.Request) ([]byte, int, error) {
 	return body, http.StatusOK, nil
 }
 
-func (s *Service) handleBatch(r *http.Request) ([]byte, int, error) {
+func (s *Service) handleBatch(r *http.Request, out *outcome) ([]byte, int, error) {
 	var req BatchRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, http.StatusBadRequest, err
@@ -207,10 +300,12 @@ func (s *Service) handleBatch(r *http.Request) ([]byte, int, error) {
 	// discipline the experiment harness uses for campaign cells: items
 	// are claimed in index order and each writes only its own slot.
 	// Item errors become per-item {"error": ...} entries, so the cell
-	// function itself never fails.
+	// function itself never fails. The request context flows into every
+	// item, so an expired batch budget stops the remaining cold plans.
+	ctx := r.Context()
 	responses, _ := sched.Map(req.Requests, s.cfg.BatchWorkers,
 		func(i int, item BatchItem) (json.RawMessage, error) {
-			return s.batchItem(item), nil
+			return s.batchItem(ctx, item), nil
 		})
 	body, err := marshalResponse(BatchResponse{Responses: responses})
 	if err != nil {
@@ -221,7 +316,7 @@ func (s *Service) handleBatch(r *http.Request) ([]byte, int, error) {
 
 // batchItem executes one batch operation, folding its error (if any)
 // into the response entry.
-func (s *Service) batchItem(item BatchItem) json.RawMessage {
+func (s *Service) batchItem(ctx context.Context, item BatchItem) json.RawMessage {
 	body, err := func() ([]byte, error) {
 		switch item.Op {
 		case "plan", "plan/exact":
@@ -234,9 +329,9 @@ func (s *Service) batchItem(item BatchItem) json.RawMessage {
 				return nil, err
 			}
 			if item.Op == "plan" {
-				return s.Plan(kind, costs, rates)
+				return s.PlanCtx(ctx, kind, costs, rates)
 			}
-			return s.PlanExact(kind, costs, rates)
+			return s.PlanExactCtx(ctx, kind, costs, rates)
 		case "evaluate":
 			if item.Pattern == nil {
 				return nil, errors.New("missing pattern")

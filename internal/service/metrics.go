@@ -30,6 +30,15 @@ type Metrics struct {
 	// InFlight is the number of HTTP requests currently being served.
 	InFlight atomic.Int64
 
+	// Overload counters (see admission.go and DESIGN.md §2.8). A cold
+	// computation increments exactly one of Admitted or Shed; Degraded
+	// counts requests answered by the first-order fallback; and
+	// DeadlineExceeded counts requests that ran out of budget (503).
+	Admitted         atomic.Int64
+	Shed             atomic.Int64
+	Degraded         atomic.Int64
+	DeadlineExceeded atomic.Int64
+
 	endpoints [epCount]endpointMetrics // indexed by endpointID
 }
 
@@ -121,20 +130,33 @@ type EndpointSnapshot struct {
 
 // Snapshot is the JSON document served by GET /metrics.
 type Snapshot struct {
-	CacheHits        int64                       `json:"cacheHits"`
-	CacheMisses      int64                       `json:"cacheMisses"`
-	Coalesced        int64                       `json:"coalesced"`
-	Evictions        int64                       `json:"evictions"`
-	CacheEntries     int                         `json:"cacheEntries"`
-	InFlight         int64                       `json:"inFlight"`
-	AdaptiveSessions int                         `json:"adaptiveSessions"`
-	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
+	CacheHits        int64 `json:"cacheHits"`
+	CacheMisses      int64 `json:"cacheMisses"`
+	Coalesced        int64 `json:"coalesced"`
+	Evictions        int64 `json:"evictions"`
+	CacheEntries     int   `json:"cacheEntries"`
+	InFlight         int64 `json:"inFlight"`
+	AdaptiveSessions int   `json:"adaptiveSessions"`
+
+	// Overload observability (admission gate + degradation).
+	Admitted         int64 `json:"admitted"`
+	Shed             int64 `json:"shed"`
+	Degraded         int64 `json:"degraded"`
+	DeadlineExceeded int64 `json:"deadlineExceeded"`
+	// ColdQueueDepth is the current cold-plan wait-queue depth;
+	// ColdQueueMax its high-water mark since start. ColdPlanP90Ns is
+	// the observed cold-plan latency p90 feeding Retry-After.
+	ColdQueueDepth int64   `json:"coldQueueDepth"`
+	ColdQueueMax   int64   `json:"coldQueueMax"`
+	ColdPlanP90Ns  float64 `json:"coldPlanP90Ns"`
+
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
 
-// snapshot captures the current counters. cacheEntries and sessions
-// are supplied by the service (it owns the cache and the session
-// table).
-func (m *Metrics) snapshot(cacheEntries, sessions int) Snapshot {
+// snapshot captures the current counters. cacheEntries, sessions and
+// the gate are supplied by the service (it owns the cache, the session
+// table and the admission gate).
+func (m *Metrics) snapshot(cacheEntries, sessions int, g *gate) Snapshot {
 	out := Snapshot{
 		CacheHits:        m.Hits.Load(),
 		CacheMisses:      m.Misses.Load(),
@@ -143,6 +165,13 @@ func (m *Metrics) snapshot(cacheEntries, sessions int) Snapshot {
 		CacheEntries:     cacheEntries,
 		AdaptiveSessions: sessions,
 		InFlight:         m.InFlight.Load(),
+		Admitted:         m.Admitted.Load(),
+		Shed:             m.Shed.Load(),
+		Degraded:         m.Degraded.Load(),
+		DeadlineExceeded: m.DeadlineExceeded.Load(),
+		ColdQueueDepth:   g.depth(),
+		ColdQueueMax:     g.maxDepth(),
+		ColdPlanP90Ns:    g.estimate() * 1e9,
 		Endpoints:        make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
 	for id := range m.endpoints {

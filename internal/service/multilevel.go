@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"net/http"
 
@@ -32,8 +33,18 @@ type MultilevelPlanResponse struct {
 	M int `json:"m"`
 	// W is the optimal pattern length W* in seconds.
 	W float64 `json:"w"`
-	// Overhead is the exact expected overhead E(P)/W - 1 at the optimum.
+	// Overhead is the exact expected overhead E(P)/W - 1 at the
+	// optimum (for a degraded response: at the served first-order
+	// plan, which is not the exact optimum).
 	Overhead float64 `json:"overhead"`
+	// Degraded marks a graceful-degradation response carrying the
+	// first-order seed plan instead of the exact search's optimum;
+	// absent on normal responses, so cached bytes are unchanged.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedDelta is the exact-model overhead of the served plan
+	// minus its first-order prediction (how optimistic the degraded
+	// answer is).
+	DegradedDelta float64 `json:"degradedDelta,omitempty"`
 }
 
 // PlanMultilevel returns the marshalled optimal multilevel plan for p,
@@ -43,6 +54,15 @@ type MultilevelPlanResponse struct {
 // multilevel evaluator. The returned bytes are shared with the cache
 // and must not be mutated.
 func (s *Service) PlanMultilevel(p multilevel.Params) ([]byte, error) {
+	return s.PlanMultilevelCtx(context.Background(), p)
+}
+
+// PlanMultilevelCtx is PlanMultilevel under a request context. Cache
+// hits bypass the admission gate unconditionally; the cold multilevel
+// search (the most expensive computation the service runs) is admitted
+// through the bounded cold-plan gate and cancelled when every
+// interested request abandons.
+func (s *Service) PlanMultilevelCtx(ctx context.Context, p multilevel.Params) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,34 +70,66 @@ func (s *Service) PlanMultilevel(p multilevel.Params) ([]byte, error) {
 	if resp, ok := s.cache.get(key); ok {
 		return resp, nil
 	}
-	return s.planMultilevelCold(key, p)
+	if err := s.tooTight(ctx); err != nil {
+		return nil, err
+	}
+	return s.planMultilevelCold(ctx, key, p)
 }
 
 // planMultilevelCold is the miss path of PlanMultilevel, split out so
 // the hot path does not pay for the compute closure.
-func (s *Service) planMultilevelCold(key Key, p multilevel.Params) ([]byte, error) {
+func (s *Service) planMultilevelCold(ctx context.Context, key Key, p multilevel.Params) ([]byte, error) {
 	sh := s.cache.shard(key)
-	return s.cache.getOrCompute(key, func() ([]byte, error) {
-		var plan multilevel.Plan
-		err := sh.withMultilevelPlanner(key, p, func(pl *multilevel.Planner) error {
-			var err error
-			plan, err = pl.Plan()
-			return err
-		})
-		if err != nil {
-			return nil, err
-		}
-		return marshalResponse(MultilevelPlanResponse{
-			Levels:   p.L(),
-			Counts:   plan.Spec.Counts,
-			M:        plan.Spec.M,
-			W:        plan.Spec.W,
-			Overhead: plan.Overhead,
+	return s.cache.getOrCompute(ctx, key, func(fctx context.Context) ([]byte, error) {
+		return s.gated(fctx, func(fctx context.Context) ([]byte, error) {
+			var plan multilevel.Plan
+			err := sh.withMultilevelPlanner(key, p, func(pl *multilevel.Planner) error {
+				var err error
+				plan, err = pl.PlanCtx(fctx)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			return marshalResponse(MultilevelPlanResponse{
+				Levels:   p.L(),
+				Counts:   plan.Spec.Counts,
+				M:        plan.Spec.M,
+				W:        plan.Spec.W,
+				Overhead: plan.Overhead,
+			})
 		})
 	})
 }
 
-func (s *Service) handlePlanMultilevel(r *http.Request) ([]byte, int, error) {
+// DegradedPlanMultilevel is the graceful-degradation fallback of
+// PlanMultilevel: the first-order seed plan (multilevel.FirstOrderPlan)
+// evaluated once under the exact model, so the response carries its
+// real predicted overhead plus the delta against the first-order
+// estimate. No search, no gate, deterministic and byte-stable across
+// repeats; never cached.
+func (s *Service) DegradedPlanMultilevel(p multilevel.Params) ([]byte, error) {
+	plan, err := multilevel.FirstOrderPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	t, err := multilevel.ExpectedTime(p, plan.Spec)
+	if err != nil {
+		return nil, err
+	}
+	exactH := t/plan.Spec.W - 1
+	return marshalResponse(MultilevelPlanResponse{
+		Levels:        p.L(),
+		Counts:        plan.Spec.Counts,
+		M:             plan.Spec.M,
+		W:             plan.Spec.W,
+		Overhead:      exactH,
+		Degraded:      true,
+		DegradedDelta: exactH - plan.Overhead,
+	})
+}
+
+func (s *Service) handlePlanMultilevel(r *http.Request, out *outcome) ([]byte, int, error) {
 	var req MultilevelPlanRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, http.StatusBadRequest, err
@@ -86,8 +138,15 @@ func (s *Service) handlePlanMultilevel(r *http.Request) ([]byte, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	body, err := s.PlanMultilevel(params)
+	body, err := s.PlanMultilevelCtx(r.Context(), params)
 	if err != nil {
+		if s.degradable(err) {
+			if body, derr := s.DegradedPlanMultilevel(params); derr == nil {
+				*out = outcomeDegraded
+				s.metrics.Degraded.Add(1)
+				return body, http.StatusOK, nil
+			}
+		}
 		return nil, http.StatusBadRequest, err
 	}
 	return body, http.StatusOK, nil

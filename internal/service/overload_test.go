@@ -1,0 +1,328 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"respat/internal/core"
+	"respat/internal/multilevel"
+	"respat/internal/platform"
+)
+
+// testConfig returns a distinct planning configuration per i, so tests
+// can mint arbitrary numbers of cold keys.
+func testConfig(i int) (core.Costs, core.Rates) {
+	return core.Costs{DiskCkpt: float64(60 + i), DiskRec: 30, Recall: 1},
+		core.Rates{FailStop: 1e-7}
+}
+
+// TestGateBoundStrict: the wait queue never admits more than its
+// capacity — the acquire after workers+queue are held is shed, and a
+// release lets exactly one more through.
+func TestGateBoundStrict(t *testing.T) {
+	const workers, queue = 2, 3
+	g := newGate(workers, queue)
+	ctx := context.Background()
+
+	// Fill the worker slots.
+	for i := 0; i < workers; i++ {
+		if err := g.acquire(ctx); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	// Fill the wait queue with blocked acquirers.
+	var wg sync.WaitGroup
+	errs := make(chan error, queue)
+	for i := 0; i < queue; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- g.acquire(ctx)
+		}()
+	}
+	waitFor(t, func() bool { return g.depth() == queue })
+
+	// Queue full: the next acquire is shed immediately.
+	if err := g.acquire(ctx); !errors.Is(err, ErrShed) {
+		t.Fatalf("acquire over capacity = %v, want ErrShed", err)
+	}
+	if g.maxDepth() > queue {
+		t.Fatalf("high-water %d exceeds bound %d", g.maxDepth(), queue)
+	}
+
+	// Releasing drains the queue: each release frees one slot for one
+	// queued waiter, so queue-many releases let every waiter through.
+	for i := 0; i < queue; i++ {
+		g.release()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	}
+}
+
+// TestGateQueuedAcquireHonoursContext: a queued caller whose context
+// expires leaves the queue promptly instead of occupying it.
+func TestGateQueuedAcquireHonoursContext(t *testing.T) {
+	g := newGate(1, 4)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire = %v, want DeadlineExceeded", err)
+	}
+	if g.depth() != 0 {
+		t.Fatalf("queue depth %d after abandoned acquire, want 0", g.depth())
+	}
+	g.release()
+}
+
+// TestGetOrComputeTimerDeadline: a waiter whose budget expires
+// mid-computation abandons the flight promptly instead of riding it
+// to completion.
+func TestGetOrComputeTimerDeadline(t *testing.T) {
+	var m Metrics
+	c := newCache(2, 16, &m)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.getOrCompute(ctx, testKey(7), func(fctx context.Context) ([]byte, error) {
+		time.Sleep(20 * time.Millisecond)
+		return []byte("{}"), nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("waiter did not abandon promptly (%v)", elapsed)
+	}
+}
+
+// TestLongSearchInterrupted pins deadline enforcement against a real
+// CPU-bound search, no injection: a 50ms budget must interrupt the
+// multi-second L=4 multilevel search within the scheduler's
+// best-effort window (see DESIGN.md §2.8), far short of running it to
+// completion.
+func TestLongSearchInterrupted(t *testing.T) {
+	pl, err := platform.ByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := multilevel.FromPlatform(pl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, perr := s.PlanMultilevelCtx(ctx, p4)
+	elapsed := time.Since(start)
+	if !errors.Is(perr, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v (after %v)", perr, elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; search not interrupted", elapsed)
+	}
+}
+
+// TestPlanExactCancelledNotCached: a cancelled exact plan returns the
+// context error and leaves nothing behind — the next call computes
+// the full search and caches it.
+func TestPlanExactCancelledNotCached(t *testing.T) {
+	s := New(Config{})
+	costs, rates := testConfig(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.PlanExactCtx(ctx, core.PD, costs, rates); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled PlanExactCtx = %v, want Canceled", err)
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Fatalf("cache holds %d entries after cancelled plan, want 0", n)
+	}
+	got, err := s.PlanExact(core.PD, costs, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.PlanExact(core.PD, costs, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("post-cancel plan not cached byte-identically")
+	}
+}
+
+// TestMalformedBodiesRacingCacheFills hammers the handler with an
+// interleaving of malformed bodies and valid requests for a small key
+// set: the malformed ones all get 400, the valid ones all get 200, and
+// nothing panics or deadlocks under -race.
+func TestMalformedBodiesRacingCacheFills(t *testing.T) {
+	h := New(Config{ColdWorkers: 2, ColdQueue: 64}).Handler()
+	bad := []string{
+		``,
+		`{`,
+		`{"kind":"PD"}`,
+		`{"kind":"PD","platform":"Hera","costs":{"DiskCkpt":1}}`,
+		`{"kind":"nope","platform":"Hera"}`,
+		`{"kind":"PD","platform":"Hera"}trailing`,
+		`{"kind":"PD","platform":"Hera","unknown":1}`,
+	}
+	const goroutines = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if i%2 == 0 {
+					body := bad[(g+i)%len(bad)]
+					w := postJSON(t, h, "/v1/plan/exact", body)
+					if w.Code != http.StatusBadRequest {
+						t.Errorf("malformed body %q: status %d, want 400", body, w.Code)
+					}
+					continue
+				}
+				costs, _ := testConfig(i % 4)
+				body := fmt.Sprintf(`{"kind":"PD","costs":{"DiskCkpt":%g,"DiskRec":%g,"Recall":1},"rates":{"FailStop":1e-7}}`,
+					costs.DiskCkpt, costs.DiskRec)
+				w := postJSON(t, h, "/v1/plan/exact", body)
+				if w.Code != http.StatusOK {
+					t.Errorf("valid body: status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDeleteMissingSessionConcurrent: concurrent DELETEs for one
+// session leave exactly one 200 and the rest 404 — the session table
+// mutation is atomic.
+func TestDeleteMissingSessionConcurrent(t *testing.T) {
+	h := New(Config{}).Handler()
+	if w := postJSON(t, h, "/v1/observe", `{"session":"gone","kind":"PD","platform":"Hera"}`); w.Code != http.StatusOK {
+		t.Fatalf("create session: %d", w.Code)
+	}
+	const deleters = 8
+	codes := make([]int, deleters)
+	var wg sync.WaitGroup
+	for i := 0; i < deleters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodDelete, "/v1/adaptive?session=gone", nil)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			codes[i] = w.Code
+		}(i)
+	}
+	wg.Wait()
+	ok, notFound := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusNotFound:
+			notFound++
+		default:
+			t.Errorf("unexpected DELETE status %d", c)
+		}
+	}
+	if ok != 1 || notFound != deleters-1 {
+		t.Errorf("deletes resolved as %d ok / %d not-found, want 1 / %d", ok, notFound, deleters-1)
+	}
+}
+
+// TestMetricsSnapshotRace reads /metrics concurrently with traffic that
+// touches every counter the snapshot reads (cache, gate, sessions),
+// relying on -race to flag unsynchronised access.
+func TestMetricsSnapshotRace(t *testing.T) {
+	s := New(Config{ColdWorkers: 2, ColdQueue: 2})
+	h := s.Handler()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			costs, _ := testConfig(i % 8)
+			body := fmt.Sprintf(`{"kind":"PD","costs":{"DiskCkpt":%g,"DiskRec":30,"Recall":1},"rates":{"FailStop":1e-7}}`, costs.DiskCkpt)
+			postJSON(t, h, "/v1/plan/exact", body)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			postJSON(t, h, "/v1/observe",
+				fmt.Sprintf(`{"session":"s%d","kind":"PD","platform":"Hera"}`, i%4))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if w := getPath(t, h, "/metrics"); w.Code != http.StatusOK {
+			t.Fatalf("/metrics status %d", w.Code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTimeoutHeaderParsing covers the budget-resolution edges the
+// chaos suite doesn't: clamping, defaults and rejection.
+func TestTimeoutHeaderParsing(t *testing.T) {
+	req := func(hdr string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader("{}"))
+		if hdr != "" {
+			r.Header.Set(TimeoutHeader, hdr)
+		}
+		return r
+	}
+	if d, err := requestBudget(req(""), 42*time.Second); err != nil || d != 42*time.Second {
+		t.Errorf("no header: (%v, %v), want default 42s", d, err)
+	}
+	if d, err := requestBudget(req("250ms"), 0); err != nil || d != 250*time.Millisecond {
+		t.Errorf("250ms: (%v, %v)", d, err)
+	}
+	if d, err := requestBudget(req("24h"), 0); err != nil || d != maxRequestTimeout {
+		t.Errorf("24h: (%v, %v), want clamp to %v", d, err, maxRequestTimeout)
+	}
+	for _, bad := range []string{"soon", "-1s", "0s"} {
+		if _, err := requestBudget(req(bad), 0); err == nil {
+			t.Errorf("header %q accepted, want error", bad)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

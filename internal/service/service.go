@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"respat/internal/adapt"
 	"respat/internal/analytic"
@@ -28,6 +30,33 @@ type Config struct {
 	// 1024); POST /v1/observe for a new session id beyond the cap is
 	// rejected with 429. Sessions are freed by DELETE /v1/adaptive.
 	MaxSessions int
+	// ColdWorkers bounds how many expensive cold plans (exact and
+	// multilevel searches) compute concurrently (default GOMAXPROCS).
+	// Cache hits bypass the gate entirely and stay allocation-free;
+	// the cheap first-order /v1/plan cold path is ungated too.
+	ColdWorkers int
+	// ColdQueue bounds how many cold-plan computations may wait for a
+	// worker slot (default 4x ColdWorkers). When the queue is full
+	// further cold requests are shed with ErrShed (HTTP 429 plus a
+	// Retry-After derived from observed cold-plan latency quantiles).
+	ColdQueue int
+	// DefaultTimeout is the per-request deadline budget applied when a
+	// request carries no X-Request-Timeout header (0 = no budget).
+	DefaultTimeout time.Duration
+	// Degraded, when set, serves the first-order analytic plan —
+	// flagged "degraded": true, with its predicted-overhead delta —
+	// instead of failing, whenever the gate sheds a request or its
+	// deadline is too tight for the exact search.
+	Degraded bool
+	// ColdFault, if non-nil, runs at the start of every admitted
+	// cold-plan computation. It exists for fault injection (see
+	// internal/chaos): returning an error fails the computation,
+	// sleeping adds planner latency. Production configurations leave
+	// it nil.
+	ColdFault func(ctx context.Context) error
+	// Now overrides the clock used to time cold-plan computations for
+	// the Retry-After estimate (chaos/testing hook; default time.Now).
+	Now func() time.Time
 }
 
 // withDefaults fills unset fields.
@@ -44,6 +73,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 1024
 	}
+	if c.ColdWorkers <= 0 {
+		c.ColdWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.ColdQueue <= 0 {
+		c.ColdQueue = 4 * c.ColdWorkers
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
 }
 
@@ -53,6 +91,7 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg     Config
 	cache   *cache
+	gate    *gate
 	metrics Metrics
 
 	sessMu   sync.Mutex
@@ -63,6 +102,7 @@ type Service struct {
 func New(cfg Config) *Service {
 	s := &Service{cfg: cfg.withDefaults()}
 	s.cache = newCache(s.cfg.Shards, s.cfg.Capacity, &s.metrics)
+	s.gate = newGate(s.cfg.ColdWorkers, s.cfg.ColdQueue)
 	return s
 }
 
@@ -79,8 +119,19 @@ type PlanResponse struct {
 	// W is the optimal pattern length in seconds.
 	W float64 `json:"w"`
 	// Overhead is the expected overhead H at the optimum: first-order
-	// 2·sqrt(oef·orw) for plan, exact E(P)/W - 1 for plan/exact.
+	// 2·sqrt(oef·orw) for plan, exact E(P)/W - 1 for plan/exact. A
+	// degraded response carries the exact-model overhead of the
+	// first-order plan it serves.
 	Overhead float64 `json:"overhead"`
+	// Degraded marks a graceful-degradation response: the service was
+	// overloaded (or the deadline too tight) and served the first-order
+	// analytic plan instead of running the exact search. Absent on
+	// normal responses, so cached bytes are unchanged.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedDelta quantifies how optimistic the degraded answer is:
+	// the exact-model overhead of the served first-order plan minus its
+	// own first-order prediction.
+	DegradedDelta float64 `json:"degradedDelta,omitempty"`
 }
 
 // EvaluateResponse is the body served for /v1/evaluate.
@@ -94,7 +145,15 @@ type EvaluateResponse struct {
 // Plan returns the marshalled first-order Table 1 plan of family kind
 // for (costs, rates), serving from the cache when possible. The
 // returned bytes are shared with the cache and must not be mutated.
+// The first-order cold path is microseconds of closed-form arithmetic,
+// so it is not admission-gated.
 func (s *Service) Plan(kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
+	return s.PlanCtx(context.Background(), kind, costs, rates)
+}
+
+// PlanCtx is Plan under a request context; a caller that abandons
+// (ctx done) stops waiting for a coalesced computation.
+func (s *Service) PlanCtx(ctx context.Context, kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
 	if !kind.Valid() {
 		return nil, fmt.Errorf("service: invalid pattern kind %d", int(kind))
 	}
@@ -102,13 +161,13 @@ func (s *Service) Plan(kind core.Kind, costs core.Costs, rates core.Rates) ([]by
 	if resp, ok := s.cache.get(key); ok {
 		return resp, nil
 	}
-	return s.planCold(key, kind, costs, rates)
+	return s.planCold(ctx, key, kind, costs, rates)
 }
 
 // planCold is the miss path of Plan, split out so the hot path does not
 // pay for the compute closure.
-func (s *Service) planCold(key Key, kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
-	return s.cache.getOrCompute(key, func() ([]byte, error) {
+func (s *Service) planCold(ctx context.Context, key Key, kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
+	return s.cache.getOrCompute(ctx, key, func(context.Context) ([]byte, error) {
 		plan, err := analytic.Optimal(kind, costs, rates)
 		if err != nil {
 			return nil, err
@@ -127,6 +186,14 @@ func (s *Service) planCold(key Key, kind core.Kind, costs core.Costs, rates core
 // optimum, no first-order truncation), cached like Plan. The exact
 // search reuses the owning shard's evaluator.
 func (s *Service) PlanExact(kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
+	return s.PlanExactCtx(context.Background(), kind, costs, rates)
+}
+
+// PlanExactCtx is PlanExact under a request context. Cache hits bypass
+// the admission gate unconditionally; a cold computation is admitted
+// through the bounded cold-plan gate (ErrShed when its queue is full)
+// and cancelled when every interested request abandons.
+func (s *Service) PlanExactCtx(ctx context.Context, kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
 	if !kind.Valid() {
 		return nil, fmt.Errorf("service: invalid pattern kind %d", int(kind))
 	}
@@ -134,33 +201,119 @@ func (s *Service) PlanExact(kind core.Kind, costs core.Costs, rates core.Rates) 
 	if resp, ok := s.cache.get(key); ok {
 		return resp, nil
 	}
-	return s.planExactCold(key, kind, costs, rates)
+	if err := s.tooTight(ctx); err != nil {
+		return nil, err
+	}
+	return s.planExactCold(ctx, key, kind, costs, rates)
 }
 
-func (s *Service) planExactCold(key Key, kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
+func (s *Service) planExactCold(ctx context.Context, key Key, kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
 	sh := s.cache.shard(key)
-	return s.cache.getOrCompute(key, func() ([]byte, error) {
-		first, err := analytic.Optimal(kind, costs, rates)
-		if err != nil {
+	return s.cache.getOrCompute(ctx, key, func(fctx context.Context) ([]byte, error) {
+		return s.gated(fctx, func(fctx context.Context) ([]byte, error) {
+			first, err := analytic.Optimal(kind, costs, rates)
+			if err != nil {
+				return nil, err
+			}
+			var plan optimize.ExactPlan
+			err = sh.withEvaluator(costs, rates, func(ev *analytic.Evaluator) error {
+				var err error
+				plan, err = optimize.ExactWithEvaluatorCtx(fctx, ev, first)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			return marshalResponse(PlanResponse{
+				Kind:     plan.Kind.String(),
+				Exact:    true,
+				N:        plan.N,
+				M:        plan.M,
+				W:        plan.W,
+				Overhead: plan.Overhead,
+			})
+		})
+	})
+}
+
+// gated runs one cold-plan computation through the admission gate:
+// acquire a worker slot (shedding when the bounded queue is full), run
+// the optional injected fault hook, compute, and record the wall time
+// that feeds the Retry-After estimate. ctx is the flight context, so a
+// queued computation whose every requester abandoned leaves the queue
+// instead of occupying it.
+func (s *Service) gated(ctx context.Context, fn func(context.Context) ([]byte, error)) ([]byte, error) {
+	if err := s.gate.acquire(ctx); err != nil {
+		if err == ErrShed {
+			s.metrics.Shed.Add(1)
+		}
+		return nil, err
+	}
+	defer s.gate.release()
+	s.metrics.Admitted.Add(1)
+	if s.cfg.ColdFault != nil {
+		if err := s.cfg.ColdFault(ctx); err != nil {
 			return nil, err
 		}
-		var plan optimize.ExactPlan
-		err = sh.withEvaluator(costs, rates, func(ev *analytic.Evaluator) error {
-			var err error
-			plan, err = optimize.ExactWithEvaluator(ev, first)
-			return err
-		})
-		if err != nil {
-			return nil, err
-		}
-		return marshalResponse(PlanResponse{
-			Kind:     plan.Kind.String(),
-			Exact:    true,
-			N:        plan.N,
-			M:        plan.M,
-			W:        plan.W,
-			Overhead: plan.Overhead,
-		})
+	}
+	start := s.cfg.Now()
+	resp, err := fn(ctx)
+	s.gate.observe(s.cfg.Now().Sub(start))
+	return resp, err
+}
+
+// tooTight reports (in degraded mode only) whether ctx's remaining
+// budget is smaller than the estimated cold-plan latency, in which
+// case attempting the exact search is pointless and the caller should
+// degrade immediately.
+func (s *Service) tooTight(ctx context.Context) error {
+	if !s.cfg.Degraded {
+		return nil
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	est := s.gate.estimate()
+	if est > 0 && time.Until(dl).Seconds() < est {
+		return ErrTooTight
+	}
+	return nil
+}
+
+// DegradedPlanExact is the graceful-degradation fallback of PlanExact:
+// the first-order Table 1 plan (the exact search's seed), evaluated
+// once under the exact model so the response carries both its real
+// predicted overhead and the delta against the first-order estimate.
+// Pure closed-form arithmetic plus one renewal evaluation — no search,
+// no gate, deterministic and byte-stable across repeats. Degraded
+// responses are never cached: a later healthy request for the same
+// configuration must compute (and cache) the exact optimum.
+func (s *Service) DegradedPlanExact(kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {
+	if !kind.Valid() {
+		return nil, fmt.Errorf("service: invalid pattern kind %d", int(kind))
+	}
+	first, err := analytic.Optimal(kind, costs, rates)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := analytic.NewEvaluator(costs, rates)
+	if err != nil {
+		return nil, err
+	}
+	t, err := ev.ExpectedTime(first.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	exactH := t/first.W - 1
+	return marshalResponse(PlanResponse{
+		Kind:          first.Kind.String(),
+		N:             first.N,
+		M:             first.M,
+		W:             first.W,
+		Overhead:      exactH,
+		Degraded:      true,
+		DegradedDelta: exactH - first.Overhead,
 	})
 }
 

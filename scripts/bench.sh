@@ -9,7 +9,10 @@
 # pass gates the cold paths: BenchmarkMultilevelPlan must stay under
 # 5ms and 1000 allocs/op, BenchmarkSimulatePattern under 30µs, and a
 # whole 500-job fleet campaign (BenchmarkFleetSmall) under 25ms and
-# 10000 allocs/op.
+# 10000 allocs/op. The same pass holds the admission-gated hit path
+# (BenchmarkServicePlanHot) under an absolute 2500ns/op: the PR 8
+# overload gate must cost a cache hit nothing measurable (~900ns
+# today), and the 0-alloc gate above already pins its allocations.
 #
 # Usage: scripts/bench.sh [outdir] [benchtime]
 #   outdir    where to write BENCH_<date>.json (default: .)
@@ -67,7 +70,7 @@ fi
 # "regression" between the 2026-07 snapshots).
 gateraw=$(mktemp)
 trap 'rm -f "$raw" "$gateraw"' EXIT
-go test -run '^$' -bench 'BenchmarkMultilevelPlan$|BenchmarkSimulatePattern$|BenchmarkFleetSmall$' \
+go test -run '^$' -bench 'BenchmarkMultilevelPlan$|BenchmarkSimulatePattern$|BenchmarkFleetSmall$|BenchmarkServicePlanHot$' \
     -benchtime 20x -benchmem . | tee "$gateraw"
 if awk '
     /^BenchmarkMultilevelPlan/ {
@@ -79,6 +82,10 @@ if awk '
     /^BenchmarkSimulatePattern/ {
         for (i = 2; i < NF; i++)
             if ($(i+1) == "ns/op" && $i + 0 > 30000) { print "gate: SimulatePattern " $i " ns/op > 30µs"; bad = 1 }
+    }
+    /^BenchmarkServicePlanHot/ {
+        for (i = 2; i < NF; i++)
+            if ($(i+1) == "ns/op" && $i + 0 > 2500) { print "gate: ServicePlanHot " $i " ns/op > 2500ns (admission gate must stay off the hit path)"; bad = 1 }
     }
     /^BenchmarkFleetSmall/ {
         for (i = 2; i < NF; i++) {
