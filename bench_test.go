@@ -14,6 +14,7 @@ import (
 
 	"respat"
 	"respat/internal/analytic"
+	"respat/internal/cluster"
 	"respat/internal/core"
 	"respat/internal/harness"
 	"respat/internal/multilevel"
@@ -491,6 +492,37 @@ func BenchmarkServiceFirstOrderCold(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRingRoute measures the consistent-hash owner lookup every
+// clustered request pays before the cache probe: hash the canonical
+// 139-byte key and binary-search the virtual-node table of a 16-replica
+// ring. The contract (DESIGN.md §2.9) is 0 allocs/op; scripts/bench.sh
+// gates it.
+func BenchmarkRingRoute(b *testing.B) {
+	members := make([]string, 16)
+	for i := range members {
+		members[i] = fmt.Sprintf("replica-%02d", i)
+	}
+	ring, err := cluster.New(1, 0, members)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hera := mustPlatform(b, "Hera")
+	keys := make([]service.Key, 64)
+	for i := range keys {
+		costs := hera.Costs
+		costs.DiskCkpt += float64(i)
+		keys[i] = service.EncodeKey(service.ModePlanExact, core.PDMV, costs, hera.Rates)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink string
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		sink = ring.Route(k[:])
+	}
+	_ = sink
 }
 
 func mustPlatform(b *testing.B, name string) platform.Platform {

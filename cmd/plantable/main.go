@@ -1,0 +1,116 @@
+// Command plantable builds a precomputed plan table
+// (internal/plantable): a grid of exact optimal plans over
+// (fail-stop rate, silent rate, checkpoint cost, recovery cost)
+// around a platform's operating point, validated so that multilinear
+// interpolation anywhere inside the grid stays within the requested
+// error bound of exact planning. respatd loads the table at startup
+// (-plan-table) and answers in-grid /v1/plan/exact requests by
+// interpolation, without entering the cold-plan gate.
+//
+// Usage:
+//
+//	plantable -platform Hera -kind PDMV -out hera-pdmv.json
+//	plantable -platform Atlas -kind PDV -rate-span 2 -rate-points 5 -err-bound 0.02
+//
+// The defaults (7x7x5x5 over x2 rate and x1.5 cost spans, 1% bound)
+// validate for every Table 2 platform and pattern family; a sparser
+// grid that cannot honor the bound fails the build instead of
+// shipping bad plans.
+//
+// The grid spans each axis geometrically: center/span .. center*span
+// with the given number of points. Building runs one exact
+// optimization per grid point (parallel across -workers), then
+// validates the bound on a seeded in-grid sample; it fails loudly if
+// the grid is too coarse for the bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"respat/internal/core"
+	"respat/internal/plantable"
+	"respat/internal/platform"
+)
+
+func main() {
+	var (
+		platName   = flag.String("platform", "Hera", "built-in platform name (grid center)")
+		kind       = flag.String("kind", "PDMV", "pattern family: PD | PDV | PDMV")
+		out        = flag.String("out", "", "output file (default stdout)")
+		rateSpan   = flag.Float64("rate-span", 2, "rate axes span factor: center/span .. center*span")
+		ratePoints = flag.Int("rate-points", 7, "points per rate axis")
+		costSpan   = flag.Float64("cost-span", 1.5, "cost axes span factor")
+		costPoints = flag.Int("cost-points", 5, "points per cost axis")
+		errBound   = flag.Float64("err-bound", 0.01, "max relative interpolation error allowed")
+		samples    = flag.Int("samples", 32, "validation sample count")
+		seed       = flag.Uint64("seed", 1, "validation sampling seed")
+		workers    = flag.Int("workers", 0, "build goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *platName, *kind, *out, *rateSpan, *costSpan,
+		*ratePoints, *costPoints, *errBound, *samples, *seed, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "plantable:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, platName, kindName, out string, rateSpan, costSpan float64,
+	ratePoints, costPoints int, errBound float64, samples int, seed uint64, workers int) error {
+	kind, err := core.ParseKind(kindName)
+	if err != nil {
+		return err
+	}
+	p, err := platform.ByName(platName)
+	if err != nil {
+		return err
+	}
+	failStop, err := plantable.AxisAround(p.Rates.FailStop, rateSpan, ratePoints)
+	if err != nil {
+		return fmt.Errorf("fail-stop axis: %w", err)
+	}
+	silent, err := plantable.AxisAround(p.Rates.Silent, rateSpan, ratePoints)
+	if err != nil {
+		return fmt.Errorf("silent axis: %w", err)
+	}
+	ckpt, err := plantable.AxisAround(p.Costs.DiskCkpt, costSpan, costPoints)
+	if err != nil {
+		return fmt.Errorf("checkpoint axis: %w", err)
+	}
+	rec, err := plantable.AxisAround(p.Costs.DiskRec, costSpan, costPoints)
+	if err != nil {
+		return fmt.Errorf("recovery axis: %w", err)
+	}
+	tbl, err := plantable.Build(plantable.BuildSpec{
+		Kind:     kind,
+		Base:     p.Costs,
+		FailStop: failStop,
+		Silent:   silent,
+		Ckpt:     ckpt,
+		Rec:      rec,
+		ErrBound: errBound,
+		Samples:  samples,
+		Seed:     seed,
+		Workers:  workers,
+	})
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tbl.Save(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "plantable: %d entries (%dx%dx%dx%d), max sample error %.2e (bound %.2e)\n",
+		len(tbl.Entries), len(failStop), len(silent), len(ckpt), len(rec), tbl.SampleErr, tbl.ErrBound)
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"respat/internal/plantable"
+	"respat/internal/platform"
+)
+
+// TestBuildSaveLoad runs the generator end to end: build a small grid
+// around Hera, write it to disk, and load it back the way respatd
+// does at startup (-plan-table).
+func TestBuildSaveLoad(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "hera.json")
+	err := run(io.Discard, "Hera", "PDMV", out, 1.5, 1.3, 3, 2, 0.05, 16, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := plantable.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hera, err := platform.ByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Lookup(tbl.Kind, hera.Costs, hera.Rates); !ok {
+		t.Fatal("built table misses its own grid center")
+	}
+}
+
+// TestRunRejectsBadInput covers the argument errors.
+func TestRunRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "Hera", "XYZ", "", 2, 1.5, 3, 2, 0.01, 8, 1, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := run(&buf, "NoSuchPlatform", "PDMV", "", 2, 1.5, 3, 2, 0.01, 8, 1, 0); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if err := run(&buf, "Hera", "PDMV", "", 1, 1.5, 3, 2, 0.01, 8, 1, 0); err == nil {
+		t.Fatal("span 1 with multiple points accepted")
+	}
+}

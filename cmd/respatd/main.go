@@ -9,6 +9,8 @@
 //	respatd -addr :8080
 //	respatd -addr :8080 -shards 32 -cache-capacity 65536 -batch-workers 8
 //	respatd -addr :8080 -cold-workers 8 -cold-queue 32 -request-timeout 30s -degraded
+//	respatd -addr :8080 -self a -peers a=http://a:8080,b=http://b:8080,c=http://c:8080
+//	respatd -addr :8080 -plan-table hera-pdmv.json -plan-table atlas-pdv.json
 //
 // Endpoints (full reference with schemas: docs/api.md):
 //
@@ -36,6 +38,15 @@
 // failing shed or too-tight requests. Shutdown is graceful:
 // SIGINT/SIGTERM stops accepting connections and drains in-flight
 // requests for up to -drain-timeout.
+//
+// Distributed serving (DESIGN.md §2.9): -self plus -peers joins the
+// daemon to a consistent-hash replica group — each cacheable plan key
+// is owned by one replica, peer-owned requests forward one hop, and a
+// background health checker (-health-interval) drops dead peers from
+// the ring deterministically. -ring-vnodes and -ring-seed must agree
+// across replicas. -plan-table (repeatable) loads precomputed plan
+// tables built by cmd/plantable; in-grid /v1/plan/exact requests are
+// answered by validated interpolation without entering the cold gate.
 package main
 
 import (
@@ -49,9 +60,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"respat/internal/plantable"
 	"respat/internal/service"
 )
 
@@ -68,7 +81,15 @@ func main() {
 		degraded     = flag.Bool("degraded", false, "serve the first-order plan (flagged degraded) instead of failing shed or too-tight exact requests")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
 		quiet        = flag.Bool("quiet", false, "disable per-request logging")
+
+		self           = flag.String("self", "", "this replica's name in -peers (empty = standalone)")
+		peers          = flag.String("peers", "", "replica set as name=url,name=url,... (must include -self)")
+		ringVNodes     = flag.Int("ring-vnodes", 0, "virtual nodes per replica (0 = default; must agree across replicas)")
+		ringSeed       = flag.Uint64("ring-seed", 1, "consistent-hash placement seed (must agree across replicas)")
+		healthInterval = flag.Duration("health-interval", 5*time.Second, "peer health-check period (0 = no background checks)")
 	)
+	var tables tableFlags
+	flag.Var(&tables, "plan-table", "precomputed plan-table file (cmd/plantable output); repeatable")
 	flag.Parse()
 	cfg := service.Config{
 		Shards:         *shards,
@@ -80,21 +101,115 @@ func main() {
 		DefaultTimeout: *reqTimeout,
 		Degraded:       *degraded,
 	}
-	if err := run(*addr, cfg, *drainTimeout, *quiet); err != nil {
+	cluster := clusterFlags{
+		self:           *self,
+		peers:          *peers,
+		vnodes:         *ringVNodes,
+		seed:           *ringSeed,
+		healthInterval: *healthInterval,
+	}
+	if err := run(*addr, cfg, tables, cluster, *drainTimeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "respatd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg service.Config, drainTimeout time.Duration, quiet bool) error {
+// tableFlags collects the repeatable -plan-table flag.
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+// clusterFlags bundles the replica-group flags.
+type clusterFlags struct {
+	self           string
+	peers          string
+	vnodes         int
+	seed           uint64
+	healthInterval time.Duration
+}
+
+// parsePeers turns "a=http://a:8080,b=http://b:8080" into members.
+func parsePeers(s string) ([]service.Member, error) {
+	var members []service.Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -peers entry %q, want name=url", part)
+		}
+		members = append(members, service.Member{
+			Name: strings.TrimSpace(name),
+			URL:  strings.TrimSuffix(strings.TrimSpace(url), "/"),
+		})
+	}
+	if len(members) == 0 {
+		return nil, errors.New("-peers is empty")
+	}
+	return members, nil
+}
+
+func run(addr string, cfg service.Config, tables []string, cluster clusterFlags, drainTimeout time.Duration, quiet bool) error {
+	for _, path := range tables {
+		tbl, err := plantable.LoadFile(path)
+		if err != nil {
+			return fmt.Errorf("-plan-table %s: %w", path, err)
+		}
+		cfg.Tables = append(cfg.Tables, tbl)
+	}
+	if (cluster.self == "") != (cluster.peers == "") {
+		return errors.New("-self and -peers must be given together")
+	}
+	logger := log.New(os.Stderr, "respatd: ", log.LstdFlags)
+	svc := service.New(cfg)
+	var stopHealth context.CancelFunc
+	if cluster.self != "" {
+		members, err := parsePeers(cluster.peers)
+		if err != nil {
+			return err
+		}
+		if err := svc.EnableCluster(service.ClusterConfig{
+			Self:    cluster.self,
+			Members: members,
+			VNodes:  cluster.vnodes,
+			Seed:    cluster.seed,
+		}); err != nil {
+			return err
+		}
+		if cluster.healthInterval > 0 {
+			var hctx context.Context
+			hctx, stopHealth = context.WithCancel(context.Background())
+			go func() {
+				tick := time.NewTicker(cluster.healthInterval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-hctx.Done():
+						return
+					case <-tick.C:
+						svc.CheckPeerHealth(hctx)
+					}
+				}
+			}()
+		}
+		logger.Printf("cluster: self=%s members=%d vnodes=%d seed=%d health-interval=%v",
+			cluster.self, len(members), cluster.vnodes, cluster.seed, cluster.healthInterval)
+	}
+	if stopHealth != nil {
+		defer stopHealth()
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	logger := log.New(os.Stderr, "respatd: ", log.LstdFlags)
-	svc := service.New(cfg)
-	logger.Printf("listening on %s (shards=%d capacity=%d batch-workers=%d max-sessions=%d cold-workers=%d cold-queue=%d request-timeout=%v degraded=%v)",
-		ln.Addr(), cfg.Shards, cfg.Capacity, cfg.BatchWorkers, cfg.MaxSessions, cfg.ColdWorkers, cfg.ColdQueue, cfg.DefaultTimeout, cfg.Degraded)
+	logger.Printf("listening on %s (shards=%d capacity=%d batch-workers=%d max-sessions=%d cold-workers=%d cold-queue=%d request-timeout=%v degraded=%v plan-tables=%d)",
+		ln.Addr(), cfg.Shards, cfg.Capacity, cfg.BatchWorkers, cfg.MaxSessions, cfg.ColdWorkers, cfg.ColdQueue, cfg.DefaultTimeout, cfg.Degraded, len(cfg.Tables))
 	return serve(ln, svc, logger, drainTimeout, quiet)
 }
 

@@ -120,8 +120,59 @@ func TestRequestLog(t *testing.T) {
 
 // TestRunBadAddr: an unbindable address fails fast instead of serving.
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.256.256.256:99999", service.Config{}, time.Second, true); err == nil {
+	if err := run("256.256.256.256:99999", service.Config{}, nil, clusterFlags{}, time.Second, true); err == nil {
 		t.Fatal("expected bind error")
+	}
+}
+
+// TestParsePeers covers the -peers syntax.
+func TestParsePeers(t *testing.T) {
+	members, err := parsePeers("a=http://a:8080, b=http://b:8080/ ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []service.Member{
+		{Name: "a", URL: "http://a:8080"},
+		{Name: "b", URL: "http://b:8080"},
+	}
+	if len(members) != len(want) {
+		t.Fatalf("parsed %d members, want %d", len(members), len(want))
+	}
+	for i := range want {
+		if members[i] != want[i] {
+			t.Fatalf("member %d = %+v, want %+v", i, members[i], want[i])
+		}
+	}
+	if _, err := parsePeers("just-a-name"); err == nil {
+		t.Fatal("entry without = accepted")
+	}
+	if _, err := parsePeers(" , "); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+}
+
+// TestRunClusterValidation: -self without -peers (and vice versa) and
+// a self missing from the peer list fail fast.
+func TestRunClusterValidation(t *testing.T) {
+	if err := run("127.0.0.1:0", service.Config{}, nil,
+		clusterFlags{self: "a"}, time.Second, true); err == nil {
+		t.Fatal("-self without -peers accepted")
+	}
+	if err := run("127.0.0.1:0", service.Config{}, nil,
+		clusterFlags{peers: "a=http://a"}, time.Second, true); err == nil {
+		t.Fatal("-peers without -self accepted")
+	}
+	if err := run("127.0.0.1:0", service.Config{}, nil,
+		clusterFlags{self: "z", peers: "a=http://a,b=http://b"}, time.Second, true); err == nil {
+		t.Fatal("self outside the peer list accepted")
+	}
+}
+
+// TestRunBadTable: a missing plan-table file fails fast.
+func TestRunBadTable(t *testing.T) {
+	if err := run("127.0.0.1:0", service.Config{}, []string{"/does/not/exist.json"},
+		clusterFlags{}, time.Second, true); err == nil {
+		t.Fatal("missing plan table accepted")
 	}
 }
 

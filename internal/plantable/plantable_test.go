@@ -1,0 +1,224 @@
+package plantable
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"respat/internal/core"
+	"respat/internal/optimize"
+	"respat/internal/platform"
+)
+
+// heraSpec builds a small grid around Hera's operating point: rates
+// within a factor of 1.5 each way, disk costs within a factor of 1.3.
+func heraSpec(t *testing.T) BuildSpec {
+	t.Helper()
+	hera, err := platform.ByName("Hera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := AxisAround(hera.Rates.FailStop, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sil, err := AxisAround(hera.Rates.Silent, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := AxisAround(hera.Costs.DiskCkpt, 1.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := AxisAround(hera.Costs.DiskRec, 1.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildSpec{
+		Kind:     core.PDMV,
+		Base:     hera.Costs,
+		FailStop: fs, Silent: sil, Ckpt: ck, Rec: rec,
+		ErrBound: 0.05,
+		Samples:  24,
+		Seed:     7,
+	}
+}
+
+func buildHera(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := Build(heraSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestBuildWithinBound is the headline correctness property:
+// interpolated answers stay within the configured error bound of
+// exact planning on a seeded in-grid sample, and Build records the
+// observed maximum.
+func TestBuildWithinBound(t *testing.T) {
+	tbl := buildHera(t)
+	if tbl.SampleErr > tbl.ErrBound {
+		t.Fatalf("sample error %v exceeds bound %v", tbl.SampleErr, tbl.ErrBound)
+	}
+	if tbl.SampleErr <= 0 {
+		t.Fatalf("sample error %v; interpolation off grid points should not be exact", tbl.SampleErr)
+	}
+	// Re-validating a built table with the same seed reproduces the
+	// recorded error exactly.
+	again, err := tbl.CheckError(tbl.Samples, tbl.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != tbl.SampleErr {
+		t.Fatalf("re-validation %v != recorded %v", again, tbl.SampleErr)
+	}
+}
+
+// TestLookupAtGridPoint asserts interpolation degenerates to the
+// stored exact entry on grid points.
+func TestLookupAtGridPoint(t *testing.T) {
+	tbl := buildHera(t)
+	for _, at := range [][4]int{{0, 0, 0, 0}, {1, 2, 1, 0}, {2, 2, 1, 1}} {
+		costs, rates := tbl.pointConfig(at[0], at[1], at[2], at[3])
+		want := tbl.Entries[tbl.index(at[0], at[1], at[2], at[3])]
+		ans, ok := tbl.Lookup(tbl.Kind, costs, rates)
+		if !ok {
+			t.Fatalf("grid point %v missed", at)
+		}
+		if ans.N != want.N || ans.M != want.M {
+			t.Fatalf("grid point %v: layout (%d,%d) != stored (%d,%d)", at, ans.N, ans.M, want.N, want.M)
+		}
+		if math.Abs(ans.W-want.W) > 1e-9*want.W || math.Abs(ans.Overhead-want.Overhead) > 1e-12 {
+			t.Fatalf("grid point %v: (W,H)=(%v,%v) != stored (%v,%v)", at, ans.W, ans.Overhead, want.W, want.Overhead)
+		}
+		// And the stored entry matches a fresh exact plan bit-for-bit.
+		exact, err := optimize.Exact(tbl.Kind, costs, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.N != want.N || exact.M != want.M || exact.W != want.W || exact.Overhead != want.Overhead {
+			t.Fatalf("grid point %v: stored %+v != fresh exact %+v", at, want, exact)
+		}
+	}
+}
+
+// TestLookupMisses covers every fall-through condition: wrong family,
+// different cost template, out-of-grid coordinates.
+func TestLookupMisses(t *testing.T) {
+	tbl := buildHera(t)
+	costs, rates := tbl.pointConfig(1, 1, 0, 0)
+	if _, ok := tbl.Lookup(core.PD, costs, rates); ok {
+		t.Fatal("wrong family hit the table")
+	}
+	badTemplate := costs
+	badTemplate.Recall = 0.9
+	if _, ok := tbl.Lookup(tbl.Kind, badTemplate, rates); ok {
+		t.Fatal("different template hit the table")
+	}
+	outRates := rates
+	outRates.FailStop = tbl.FailStop[2] * 1.01
+	if _, ok := tbl.Lookup(tbl.Kind, costs, outRates); ok {
+		t.Fatal("out-of-grid rate hit the table")
+	}
+	lowRates := rates
+	lowRates.Silent = tbl.Silent[0] * 0.99
+	if _, ok := tbl.Lookup(tbl.Kind, costs, lowRates); ok {
+		t.Fatal("below-grid rate hit the table")
+	}
+	outCosts := costs
+	outCosts.DiskCkpt = tbl.Ckpt[1] * 2
+	if _, ok := tbl.Lookup(tbl.Kind, outCosts, rates); ok {
+		t.Fatal("out-of-grid checkpoint cost hit the table")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tbl := buildHera(t)
+	var buf bytes.Buffer
+	if err := tbl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Fatal("save → load → save is not byte-stable")
+	}
+	costs, rates := tbl.pointConfig(1, 1, 1, 1)
+	rates.FailStop *= 1.1 // interpolated point
+	a, okA := tbl.Lookup(tbl.Kind, costs, rates)
+	b, okB := loaded.Lookup(tbl.Kind, costs, rates)
+	if !okA || !okB || a != b {
+		t.Fatalf("loaded table answers differently: %+v/%v vs %+v/%v", a, okA, b, okB)
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	tbl := buildHera(t)
+	var buf bytes.Buffer
+	if err := tbl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	for name, corrupt := range map[string]func(*Table){
+		"entry count":    func(t *Table) { t.Entries = t.Entries[:len(t.Entries)-1] },
+		"unsorted axis":  func(t *Table) { t.FailStop[0], t.FailStop[1] = t.FailStop[1], t.FailStop[0] },
+		"negative bound": func(t *Table) { t.ErrBound = -1 },
+		"bound breach":   func(t *Table) { t.SampleErr = t.ErrBound * 2 },
+		"bad entry":      func(t *Table) { t.Entries[0].N = 0 },
+	} {
+		broken, err := Load(bytes.NewReader(good))
+		if err != nil {
+			t.Fatal(err)
+		}
+		corrupt(broken)
+		var b bytes.Buffer
+		if err := broken.Save(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(bytes.NewReader(b.Bytes())); err == nil {
+			t.Errorf("corrupt table (%s) loaded without error", name)
+		}
+	}
+}
+
+func TestAxisAround(t *testing.T) {
+	ax, err := AxisAround(100, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{50, 100, 200}
+	for i := range want {
+		if math.Abs(ax[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("axis %v, want %v", ax, want)
+		}
+	}
+	if ax, err = AxisAround(5, 10, 1); err != nil || len(ax) != 1 || ax[0] != 5 {
+		t.Fatalf("single-point axis: %v, %v", ax, err)
+	}
+	if _, err := AxisAround(0, 2, 3); err == nil {
+		t.Fatal("zero center accepted")
+	}
+	if _, err := AxisAround(1, 1, 3); err == nil {
+		t.Fatal("span 1 accepted")
+	}
+}
+
+// TestBuildRejectsLooseBound asserts Build fails loudly when the grid
+// cannot meet the requested bound.
+func TestBuildRejectsLooseBound(t *testing.T) {
+	spec := heraSpec(t)
+	spec.ErrBound = 1e-9 // unreachable for any interpolation
+	if _, err := Build(spec); err == nil {
+		t.Fatal("Build met an impossible error bound")
+	}
+}

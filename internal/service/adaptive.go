@@ -272,7 +272,7 @@ func (s *Service) adaptiveSession(req ObserveRequest) (*adapt.Session, error) {
 }
 
 // handleObserve is POST /v1/observe.
-func (s *Service) handleObserve(r *http.Request, out *outcome) ([]byte, int, error) {
+func (s *Service) handleObserve(r *http.Request, d *disposition) ([]byte, int, error) {
 	var req ObserveRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, http.StatusBadRequest, err
@@ -285,7 +285,7 @@ func (s *Service) handleObserve(r *http.Request, out *outcome) ([]byte, int, err
 }
 
 // handleAdaptive is GET /v1/adaptive?session=NAME.
-func (s *Service) handleAdaptive(r *http.Request, out *outcome) ([]byte, int, error) {
+func (s *Service) handleAdaptive(r *http.Request, d *disposition) ([]byte, int, error) {
 	name := r.URL.Query().Get("session")
 	if name == "" {
 		return nil, http.StatusBadRequest, errors.New("missing session query parameter")
@@ -298,7 +298,7 @@ func (s *Service) handleAdaptive(r *http.Request, out *outcome) ([]byte, int, er
 }
 
 // handleAdaptiveDelete is DELETE /v1/adaptive?session=NAME.
-func (s *Service) handleAdaptiveDelete(r *http.Request, out *outcome) ([]byte, int, error) {
+func (s *Service) handleAdaptiveDelete(r *http.Request, d *disposition) ([]byte, int, error) {
 	name := r.URL.Query().Get("session")
 	if name == "" {
 		return nil, http.StatusBadRequest, errors.New("missing session query parameter")

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -141,15 +143,23 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), s.SessionCount(), s.gate))
+		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), s.SessionCount(), s.gate, s.peersDown()))
 	})
 	return mux
 }
 
+// disposition carries response annotations from an endpoint handler
+// back to instrument: the overload outcome label, and Retry-After
+// advice relayed from a forwarded peer response (a peer's 429 must
+// reach the client with the owner's estimate, not the entry replica's).
+type disposition struct {
+	out        outcome
+	retryAfter int
+}
+
 // opHandler is one endpoint's body: it returns the response bytes or an
-// error with an HTTP status, and may label the request's overload
-// disposition through out.
-type opHandler func(r *http.Request, out *outcome) ([]byte, int, error)
+// error with an HTTP status, and may annotate the response through d.
+type opHandler func(r *http.Request, d *disposition) ([]byte, int, error)
 
 // instrument wraps an endpoint with the in-flight gauge, the
 // per-request deadline budget, the request body limit, latency
@@ -177,8 +187,8 @@ func (s *Service) instrument(ep endpointID, maxBytes int64, h opHandler) http.Ha
 			r = r.WithContext(ctx)
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
-		var out outcome
-		body, status, err := h(r, &out)
+		var d disposition
+		body, status, err := h(r, &d)
 		failed = err != nil
 		if err != nil {
 			var tooBig *http.MaxBytesError
@@ -189,19 +199,22 @@ func (s *Service) instrument(ep endpointID, maxBytes int64, h opHandler) http.Ha
 				// Load shed: advise the client when to come back,
 				// derived from the observed cold-plan latencies.
 				status = http.StatusTooManyRequests
-				out = outcomeShed
+				d.out = outcomeShed
 				w.Header().Set("Retry-After", strconv.Itoa(s.gate.retryAfter()))
 			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled), errors.Is(err, ErrTooTight):
 				status = http.StatusServiceUnavailable
-				out = outcomeDeadline
+				d.out = outcomeDeadline
 				s.metrics.DeadlineExceeded.Add(1)
 				err = fmt.Errorf("deadline exceeded: %w", err)
 			}
-			setOutcome(w, out)
+			setOutcome(w, d.out)
 			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
 		}
-		setOutcome(w, out)
+		if d.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(d.retryAfter))
+		}
+		setOutcome(w, d.out)
 		writeBytes(w, status, body)
 	}
 }
@@ -237,10 +250,20 @@ func (s *Service) degradable(err error) bool {
 	return s.cfg.Degraded && (errors.Is(err, ErrShed) || errors.Is(err, ErrTooTight))
 }
 
-func (s *Service) handlePlan(r *http.Request, out *outcome) ([]byte, int, error) {
-	kind, costs, rates, err := decodePlanRequest(r)
+func (s *Service) handlePlan(r *http.Request, d *disposition) ([]byte, int, error) {
+	raw, kind, costs, rates, err := decodePlanRequest(r)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
+	}
+	// The local cache answers regardless of ownership (it only holds
+	// keys this replica computed, typically while it owned them), then
+	// a peer-owned key forwards; PlanCtx handles the rest locally.
+	key := EncodeKey(ModePlan, kind, costs, rates)
+	if resp, ok := s.cache.get(key); ok {
+		return resp, http.StatusOK, nil
+	}
+	if name, baseURL, ok := s.routePeer(r, key); ok {
+		return s.forward(r.Context(), name, baseURL, r.URL.Path, raw, d)
 	}
 	body, err := s.PlanCtx(r.Context(), kind, costs, rates)
 	if err != nil {
@@ -249,16 +272,28 @@ func (s *Service) handlePlan(r *http.Request, out *outcome) ([]byte, int, error)
 	return body, http.StatusOK, nil
 }
 
-func (s *Service) handlePlanExact(r *http.Request, out *outcome) ([]byte, int, error) {
-	kind, costs, rates, err := decodePlanRequest(r)
+func (s *Service) handlePlanExact(r *http.Request, d *disposition) ([]byte, int, error) {
+	raw, kind, costs, rates, err := decodePlanRequest(r)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
+	}
+	// Serving order: local cache, plan table (interpolation — never
+	// enters the cold gate), owning peer, local cold path.
+	key := EncodeKey(ModePlanExact, kind, costs, rates)
+	if resp, ok := s.cache.get(key); ok {
+		return resp, http.StatusOK, nil
+	}
+	if resp, ok := s.planFromTable(kind, costs, rates); ok {
+		return resp, http.StatusOK, nil
+	}
+	if name, baseURL, ok := s.routePeer(r, key); ok {
+		return s.forward(r.Context(), name, baseURL, r.URL.Path, raw, d)
 	}
 	body, err := s.PlanExactCtx(r.Context(), kind, costs, rates)
 	if err != nil {
 		if s.degradable(err) {
 			if body, derr := s.DegradedPlanExact(kind, costs, rates); derr == nil {
-				*out = outcomeDegraded
+				d.out = outcomeDegraded
 				s.metrics.Degraded.Add(1)
 				return body, http.StatusOK, nil
 			}
@@ -268,7 +303,7 @@ func (s *Service) handlePlanExact(r *http.Request, out *outcome) ([]byte, int, e
 	return body, http.StatusOK, nil
 }
 
-func (s *Service) handleEvaluate(r *http.Request, out *outcome) ([]byte, int, error) {
+func (s *Service) handleEvaluate(r *http.Request, d *disposition) ([]byte, int, error) {
 	var req EvaluateRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, http.StatusBadRequest, err
@@ -287,7 +322,7 @@ func (s *Service) handleEvaluate(r *http.Request, out *outcome) ([]byte, int, er
 	return body, http.StatusOK, nil
 }
 
-func (s *Service) handleBatch(r *http.Request, out *outcome) ([]byte, int, error) {
+func (s *Service) handleBatch(r *http.Request, d *disposition) ([]byte, int, error) {
 	var req BatchRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, http.StatusBadRequest, err
@@ -354,27 +389,42 @@ func (s *Service) batchItem(ctx context.Context, item BatchItem) json.RawMessage
 }
 
 // decodePlanRequest parses and resolves the shared plan request body.
-func decodePlanRequest(r *http.Request) (core.Kind, core.Costs, core.Rates, error) {
+// It also returns the raw body bytes, which the cluster forwarding
+// path replays to the owning peer unmodified.
+func decodePlanRequest(r *http.Request) ([]byte, core.Kind, core.Costs, core.Rates, error) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, 0, core.Costs{}, core.Rates{}, fmt.Errorf("bad request body: %w", err)
+	}
 	var req PlanRequest
-	if err := decodeBody(r, &req); err != nil {
-		return 0, core.Costs{}, core.Rates{}, err
+	if err := decodeJSON(raw, &req); err != nil {
+		return nil, 0, core.Costs{}, core.Rates{}, err
 	}
 	kind, err := core.ParseKind(req.Kind)
 	if err != nil {
-		return 0, core.Costs{}, core.Rates{}, err
+		return nil, 0, core.Costs{}, core.Rates{}, err
 	}
 	costs, rates, err := resolveConfig(req.Platform, req.Costs, req.Rates)
 	if err != nil {
-		return 0, core.Costs{}, core.Rates{}, err
+		return nil, 0, core.Costs{}, core.Rates{}, err
 	}
-	return kind, costs, rates, nil
+	return raw, kind, costs, rates, nil
 }
 
 // decodeBody strictly decodes one JSON body: unknown fields and
 // trailing garbage are errors, so client typos fail loudly instead of
 // silently planning defaults.
 func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return decodeJSON(raw, v)
+}
+
+// decodeJSON is decodeBody over already-read bytes.
+func decodeJSON(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %w", err)

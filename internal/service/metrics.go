@@ -39,6 +39,15 @@ type Metrics struct {
 	Degraded         atomic.Int64
 	DeadlineExceeded atomic.Int64
 
+	// Distributed-serving counters (see cluster.go and DESIGN.md §2.9).
+	// Forwarded counts requests relayed to the owning peer;
+	// ForwardErrors counts relays that failed in transit (502 to the
+	// client); TableHits counts exact-plan requests answered by a
+	// precomputed plan table instead of the cold path.
+	Forwarded     atomic.Int64
+	ForwardErrors atomic.Int64
+	TableHits     atomic.Int64
+
 	endpoints [epCount]endpointMetrics // indexed by endpointID
 }
 
@@ -150,13 +159,21 @@ type Snapshot struct {
 	ColdQueueMax   int64   `json:"coldQueueMax"`
 	ColdPlanP90Ns  float64 `json:"coldPlanP90Ns"`
 
+	// Distributed serving (cluster.go): peer forwards, failed
+	// forwards, plan-table answers, and peers currently excluded from
+	// the ring by the health checker.
+	Forwarded     int64 `json:"forwarded"`
+	ForwardErrors int64 `json:"forwardErrors"`
+	TableHits     int64 `json:"tableHits"`
+	PeersDown     int   `json:"peersDown"`
+
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
 
 // snapshot captures the current counters. cacheEntries, sessions and
 // the gate are supplied by the service (it owns the cache, the session
 // table and the admission gate).
-func (m *Metrics) snapshot(cacheEntries, sessions int, g *gate) Snapshot {
+func (m *Metrics) snapshot(cacheEntries, sessions int, g *gate, peersDown int) Snapshot {
 	out := Snapshot{
 		CacheHits:        m.Hits.Load(),
 		CacheMisses:      m.Misses.Load(),
@@ -172,6 +189,10 @@ func (m *Metrics) snapshot(cacheEntries, sessions int, g *gate) Snapshot {
 		ColdQueueDepth:   g.depth(),
 		ColdQueueMax:     g.maxDepth(),
 		ColdPlanP90Ns:    g.estimate() * 1e9,
+		Forwarded:        m.Forwarded.Load(),
+		ForwardErrors:    m.ForwardErrors.Load(),
+		TableHits:        m.TableHits.Load(),
+		PeersDown:        peersDown,
 		Endpoints:        make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
 	for id := range m.endpoints {
@@ -185,11 +206,11 @@ func (m *Metrics) snapshot(cacheEntries, sessions int, g *gate) Snapshot {
 		}
 		snap.Latency.Count = int64(len(window))
 		if len(window) > 0 {
-			// stats.Quantile only fails on empty data or q outside
-			// [0,1], both excluded here.
-			snap.Latency.P50, _ = stats.Quantile(window, 0.50)
-			snap.Latency.P90, _ = stats.Quantile(window, 0.90)
-			snap.Latency.P99, _ = stats.Quantile(window, 0.99)
+			// One sort for all three quantiles; stats.Quantiles only
+			// fails on empty data or q outside [0,1], both excluded.
+			if qs, err := stats.Quantiles(window, 0.50, 0.90, 0.99); err == nil {
+				snap.Latency.P50, snap.Latency.P90, snap.Latency.P99 = qs[0], qs[1], qs[2]
+			}
 		}
 		out.Endpoints[endpointID(id).String()] = snap
 	}

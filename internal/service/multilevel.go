@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 
 	"respat/internal/multilevel"
@@ -129,20 +131,37 @@ func (s *Service) DegradedPlanMultilevel(p multilevel.Params) ([]byte, error) {
 	})
 }
 
-func (s *Service) handlePlanMultilevel(r *http.Request, out *outcome) ([]byte, int, error) {
+func (s *Service) handlePlanMultilevel(r *http.Request, d *disposition) ([]byte, int, error) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
 	var req MultilevelPlanRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeJSON(raw, &req); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
 	params, err := resolveMultilevelConfig(req)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	// EncodeMultilevelKey requires validated params (the level vector
+	// must fit the fixed-width key); PlanMultilevelCtx re-validates,
+	// which is cheap.
+	if err := params.Validate(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	key := EncodeMultilevelKey(params)
+	if resp, ok := s.cache.get(key); ok {
+		return resp, http.StatusOK, nil
+	}
+	if name, baseURL, ok := s.routePeer(r, key); ok {
+		return s.forward(r.Context(), name, baseURL, r.URL.Path, raw, d)
+	}
 	body, err := s.PlanMultilevelCtx(r.Context(), params)
 	if err != nil {
 		if s.degradable(err) {
 			if body, derr := s.DegradedPlanMultilevel(params); derr == nil {
-				*out = outcomeDegraded
+				d.out = outcomeDegraded
 				s.metrics.Degraded.Add(1)
 				return body, http.StatusOK, nil
 			}

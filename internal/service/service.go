@@ -12,6 +12,7 @@ import (
 	"respat/internal/analytic"
 	"respat/internal/core"
 	"respat/internal/optimize"
+	"respat/internal/plantable"
 )
 
 // Config sizes a Service.
@@ -57,6 +58,14 @@ type Config struct {
 	// Now overrides the clock used to time cold-plan computations for
 	// the Retry-After estimate (chaos/testing hook; default time.Now).
 	Now func() time.Time
+	// Tables holds precomputed plan tables (internal/plantable),
+	// consulted on the exact-plan path after the cache and before the
+	// admission gate: an in-grid request is answered by interpolation
+	// in microseconds and never competes for a cold-plan slot. Load
+	// tables at startup (cmd/respatd -plan-table, or cmd/plantable to
+	// build them); the slice is read concurrently and must not be
+	// mutated after New.
+	Tables []*plantable.Table
 }
 
 // withDefaults fills unset fields.
@@ -96,6 +105,10 @@ type Service struct {
 
 	sessMu   sync.Mutex
 	sessions map[string]*adapt.Session
+
+	// clu is nil until EnableCluster joins this service to a
+	// consistent-hash replica group (cluster.go).
+	clu *clusterState
 }
 
 // New builds a Service. The zero Config is valid and gets defaults.
@@ -132,6 +145,12 @@ type PlanResponse struct {
 	// the exact-model overhead of the served first-order plan minus its
 	// own first-order prediction.
 	DegradedDelta float64 `json:"degradedDelta,omitempty"`
+	// Interpolated marks a plan-table answer: W and Overhead are
+	// multilinear interpolations of precomputed exact plans (within
+	// the table's validated error bound), (n, m) the nearest grid
+	// corner's layout. Absent on normal responses, so cached bytes are
+	// unchanged.
+	Interpolated bool `json:"interpolated,omitempty"`
 }
 
 // EvaluateResponse is the body served for /v1/evaluate.
@@ -201,10 +220,45 @@ func (s *Service) PlanExactCtx(ctx context.Context, kind core.Kind, costs core.C
 	if resp, ok := s.cache.get(key); ok {
 		return resp, nil
 	}
+	if resp, ok := s.planFromTable(kind, costs, rates); ok {
+		return resp, nil
+	}
 	if err := s.tooTight(ctx); err != nil {
 		return nil, err
 	}
 	return s.planExactCold(ctx, key, kind, costs, rates)
+}
+
+// planFromTable answers an exact-plan request from the first loaded
+// plan table covering it: multilinear interpolation over precomputed
+// exact optima, validated at build time against the table's error
+// bound. Table answers are marshalled per request and never cached —
+// the cache stays a pure memo of real computations, and a table hit is
+// already microseconds of arithmetic. Out-of-grid configurations fall
+// through to the ordinary cold path (admission gate included)
+// unchanged.
+func (s *Service) planFromTable(kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, bool) {
+	for _, t := range s.cfg.Tables {
+		ans, ok := t.Lookup(kind, costs, rates)
+		if !ok {
+			continue
+		}
+		b, err := marshalResponse(PlanResponse{
+			Kind:         kind.String(),
+			Exact:        true,
+			Interpolated: true,
+			N:            ans.N,
+			M:            ans.M,
+			W:            ans.W,
+			Overhead:     ans.Overhead,
+		})
+		if err != nil {
+			return nil, false
+		}
+		s.metrics.TableHits.Add(1)
+		return b, true
+	}
+	return nil, false
 }
 
 func (s *Service) planExactCold(ctx context.Context, key Key, kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, error) {

@@ -129,6 +129,35 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
+// Quantiles returns several quantiles of xs in one pass: the data is
+// sorted once, not once per quantile, which is what the metrics
+// snapshot and the load generator want when reporting p50/p90/p99
+// over the same window. Each qs[i] must be in [0, 1]; xs need not be
+// sorted and is not modified.
+func Quantiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			return nil, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+		}
+		pos := q * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			out[i] = sorted[lo]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return out, nil
+}
+
 // Histogram is a fixed-width binned histogram over [Lo, Hi); values
 // outside the range are counted in Under/Over.
 type Histogram struct {

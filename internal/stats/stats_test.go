@@ -104,6 +104,34 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantiles asserts the one-sort multi-quantile helper agrees
+// with repeated Quantile calls and validates its inputs.
+func TestQuantiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	got, err := Quantiles(xs, 0, 0.25, 0.5, 0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		want, err := Quantile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.Close(got[i], want, 1e-12) {
+			t.Errorf("Quantiles[%v] = %v, Quantile = %v", q, got[i], want)
+		}
+	}
+	if xs[0] != 5 || xs[4] != 4 {
+		t.Error("Quantiles mutated its input")
+	}
+	if _, err := Quantiles(nil, 0.5); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	if _, err := Quantiles(xs, 0.5, 1.5); err == nil {
+		t.Error("expected error for q out of range")
+	}
+}
+
 func TestQuantileDoesNotMutateInput(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	if _, err := Quantile(xs, 0.5); err != nil {

@@ -13,6 +13,11 @@
 # (BenchmarkServicePlanHot) under an absolute 2500ns/op: the PR 8
 # overload gate must cost a cache hit nothing measurable (~900ns
 # today), and the 0-alloc gate above already pins its allocations.
+# The PR 9 ring-route gate holds BenchmarkRingRoute (the per-request
+# consistent-hash owner lookup) at 0 allocs/op and under 1000ns/op,
+# and a fixed-seed respatd-bench closed-loop run records the first
+# serving-SLO snapshot inside the same BENCH_<date>.json under
+# "respatd_bench" (failing the script if its SLO check fails).
 #
 # Usage: scripts/bench.sh [outdir] [benchtime]
 #   outdir    where to write BENCH_<date>.json (default: .)
@@ -53,13 +58,14 @@ END { printf "\n  }\n}\n" }
 ' "$raw" > "$out"
 
 # 0-alloc gate: a service plan-cache hit (single-level or multilevel)
-# must report 0 allocs/op in the snapshot it just emitted.
-if awk '/^BenchmarkService(Plan|Multilevel)Hot/ {
+# and the consistent-hash ring route must report 0 allocs/op in the
+# snapshot just emitted.
+if awk '/^BenchmarkService(Plan|Multilevel)Hot|^BenchmarkRingRoute/ {
         for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op" && $i + 0 > 0) bad = 1
     } END { exit bad }' "$raw"; then
     :
 else
-    echo "bench.sh: service cache-hit path allocates (see above); 0 allocs/op required" >&2
+    echo "bench.sh: service cache-hit or ring-route path allocates (see above); 0 allocs/op required" >&2
     exit 1
 fi
 
@@ -70,7 +76,7 @@ fi
 # "regression" between the 2026-07 snapshots).
 gateraw=$(mktemp)
 trap 'rm -f "$raw" "$gateraw"' EXIT
-go test -run '^$' -bench 'BenchmarkMultilevelPlan$|BenchmarkSimulatePattern$|BenchmarkFleetSmall$|BenchmarkServicePlanHot$' \
+go test -run '^$' -bench 'BenchmarkMultilevelPlan$|BenchmarkSimulatePattern$|BenchmarkFleetSmall$|BenchmarkServicePlanHot$|BenchmarkRingRoute$' \
     -benchtime 20x -benchmem . | tee "$gateraw"
 if awk '
     /^BenchmarkMultilevelPlan/ {
@@ -93,11 +99,33 @@ if awk '
             if ($(i+1) == "allocs/op" && $i + 0 > 10000) { print "gate: FleetSmall " $i " allocs/op > 10000"; bad = 1 }
         }
     }
+    /^BenchmarkRingRoute/ {
+        for (i = 2; i < NF; i++)
+            if ($(i+1) == "ns/op" && $i + 0 > 1000) { print "gate: RingRoute " $i " ns/op > 1000ns (owner lookup must stay off the hot path)"; bad = 1 }
+    }
     END { exit bad }' "$gateraw"; then
     :
 else
     echo "bench.sh: cold-path budget exceeded (see gate lines above)" >&2
     exit 1
 fi
+
+# Serving-SLO snapshot: a hermetic fixed-seed respatd-bench closed loop
+# (same workload CI gates via TestClosedLoopSLO). Its JSON report is
+# merged into the snapshot under "respatd_bench"; a failed SLO check
+# (non-zero exit) fails the script.
+slo=$(mktemp)
+trap 'rm -f "$raw" "$gateraw" "$slo"' EXIT
+go run ./cmd/respatd-bench -inprocess -mode closed -clients 8 -requests 2000 \
+    -configs 64 -seed 42 -slo-p99 5s -slo-error-rate 0 -slo-min-qps 1 > "$slo"
+# Append: strip the snapshot's closing brace, add the report as one key.
+sed '$d' "$out" > "$out.tmp"
+{
+    cat "$out.tmp"
+    printf ',\n  "respatd_bench": '
+    sed 's/^/  /;1s/^  //' "$slo"
+    printf '}\n'
+} > "$out"
+rm -f "$out.tmp"
 
 echo "wrote $out"
