@@ -8,7 +8,9 @@
 package respat_test
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
@@ -18,6 +20,7 @@ import (
 	"respat/internal/core"
 	"respat/internal/harness"
 	"respat/internal/multilevel"
+	"respat/internal/obs"
 	"respat/internal/optimize"
 	"respat/internal/platform"
 	"respat/internal/service"
@@ -442,19 +445,71 @@ func BenchmarkFleetSmall(b *testing.B) {
 
 // BenchmarkServicePlanHot measures the planning service's cache-hit
 // path — canonical key encoding plus the sharded LRU lookup — for an
-// exact-model plan that is already cached. The contract (DESIGN.md
-// §2.4) is 0 allocs/op and ≥ 100× the speed of the cold exact-plan
-// path below.
+// exact-model plan that is already cached, with tracing compiled in
+// and sampling enabled exactly as respatd runs it. Each iteration pays
+// the full per-request trace lifecycle (Start → traced lookup →
+// Finish) on the unsampled branch, the overwhelmingly common case. The
+// contract (DESIGN.md §2.4 and §2.10) is 0 allocs/op and ≥ 100× the
+// speed of the cold exact-plan path below.
 func BenchmarkServicePlanHot(b *testing.B) {
 	hera := mustPlatform(b, "Hera")
-	svc := service.New(service.Config{})
+	svc := service.New(service.Config{
+		Tracer: obs.New(obs.Config{SampleEvery: 1 << 20}),
+	})
 	if _, err := svc.PlanExact(core.PDMV, hera.Costs, hera.Rates); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := svc.PlanExact(core.PDMV, hera.Costs, hera.Rates); err != nil {
+		tr := svc.Tracer().Start("plan_exact", "", "")
+		ctx := obs.NewContext(context.Background(), tr)
+		if _, err := svc.PlanExactCtx(ctx, core.PDMV, hera.Costs, hera.Rates); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish(200, "hit")
+	}
+}
+
+// BenchmarkTraceRecord measures the sampled path: one full trace
+// lifecycle with three recorded spans, a ring push and the Server-
+// Timing render skipped (that happens per response, measured by the
+// service benches). scripts/bench.sh holds it under an absolute
+// budget, bounding the cost of -trace-sample 1 debugging sessions.
+func BenchmarkTraceRecord(b *testing.B) {
+	tracer := obs.New(obs.Config{SampleEvery: 1, Ring: 256})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tracer.Start("plan_exact", "", "")
+		tm := tr.Begin(obs.StageDecode)
+		tm.End("ok")
+		tm = tr.Begin(obs.StageCacheLookup)
+		tm.End("hit")
+		tm = tr.Begin(obs.StageEncode)
+		tm.End("")
+		tr.Finish(200, "")
+	}
+}
+
+// BenchmarkPromScrape renders the full Prometheus exposition — every
+// counter, gauge and histogram family the service owns — against a
+// tracer-enabled service. scripts/bench.sh budgets it so the scrape
+// path stays cheap enough for aggressive scrape intervals.
+func BenchmarkPromScrape(b *testing.B) {
+	hera := mustPlatform(b, "Hera")
+	svc := service.New(service.Config{
+		Tracer: obs.New(obs.Config{SampleEvery: 1}),
+	})
+	tr := svc.Tracer().Start("plan_exact", "", "")
+	if _, err := svc.PlanExactCtx(obs.NewContext(context.Background(), tr), core.PDMV, hera.Costs, hera.Rates); err != nil {
+		b.Fatal(err)
+	}
+	tr.Finish(200, "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.WritePrometheus(io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

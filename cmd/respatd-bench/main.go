@@ -39,6 +39,7 @@ import (
 
 	"respat/internal/core"
 	"respat/internal/faults"
+	"respat/internal/obs"
 	"respat/internal/platform"
 	"respat/internal/service"
 	"respat/internal/stats"
@@ -121,6 +122,17 @@ type SLOReport struct {
 	Pass         bool    `json:"pass"`
 }
 
+// StageReport aggregates one Server-Timing entry across the sampled
+// responses that carried it: how many responses reported the stage and
+// the total/mean server-side milliseconds spent in it. Comparing the
+// "app" entry's mean against the client-observed mean attributes the
+// gap to the network and the client stack.
+type StageReport struct {
+	Count   int64   `json:"count"`
+	TotalMs float64 `json:"totalMs"`
+	MeanMs  float64 `json:"meanMs"`
+}
+
 // Report is the JSON document written to stdout.
 type Report struct {
 	Mode       string           `json:"mode"`
@@ -136,7 +148,11 @@ type Report struct {
 	P99Ms      float64          `json:"p99Ms"`
 	Status     map[string]int64 `json:"status"`
 	Outcomes   map[string]int64 `json:"outcomes,omitempty"`
-	SLO        *SLOReport       `json:"slo,omitempty"`
+	// ServerTiming breaks server-side time down by serving stage,
+	// aggregated from the Server-Timing headers of sampled responses
+	// (absent when the target's tracer sampled nothing).
+	ServerTiming map[string]StageReport `json:"serverTiming,omitempty"`
+	SLO          *SLOReport             `json:"slo,omitempty"`
 }
 
 // workItem is one request of the synthesized key space.
@@ -252,19 +268,34 @@ type collector struct {
 	lat      []float64 // milliseconds
 	status   map[string]int64
 	outcomes map[string]int64
+	stages   map[string]*StageReport // Server-Timing entry name -> aggregate
 	errors   int64
 	requests int64
 }
 
 func newCollector() *collector {
-	return &collector{status: make(map[string]int64), outcomes: make(map[string]int64)}
+	return &collector{
+		status:   make(map[string]int64),
+		outcomes: make(map[string]int64),
+		stages:   make(map[string]*StageReport),
+	}
 }
 
-func (c *collector) record(status int, outcome string, latency time.Duration, transportErr bool) {
+func (c *collector) record(status int, outcome, serverTiming string, latency time.Duration, transportErr bool) {
+	entries := parseServerTiming(serverTiming) // parse outside the lock
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.requests++
 	c.lat = append(c.lat, float64(latency.Nanoseconds())/1e6)
+	for _, e := range entries {
+		agg := c.stages[e.name]
+		if agg == nil {
+			agg = &StageReport{}
+			c.stages[e.name] = agg
+		}
+		agg.Count++
+		agg.TotalMs += e.durMs
+	}
 	if transportErr {
 		c.status["transport-error"]++
 		c.errors++
@@ -279,6 +310,42 @@ func (c *collector) record(status int, outcome string, latency time.Duration, tr
 	}
 }
 
+// stageTiming is one parsed Server-Timing entry.
+type stageTiming struct {
+	name  string
+	durMs float64
+}
+
+// parseServerTiming decodes the Server-Timing header respatd emits on
+// sampled responses: comma-separated `name;dur=<ms>` entries (the
+// subset of RFC 9112 Server-Timing the daemon produces). Entries
+// without a parseable dur are skipped; an empty header (the unsampled
+// common case) returns nil without allocating.
+func parseServerTiming(h string) []stageTiming {
+	if h == "" {
+		return nil
+	}
+	var out []stageTiming
+	for _, entry := range strings.Split(h, ",") {
+		name, params, ok := strings.Cut(strings.TrimSpace(entry), ";")
+		if !ok || name == "" {
+			continue
+		}
+		for _, p := range strings.Split(params, ";") {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok || k != "dur" {
+				continue
+			}
+			var ms float64
+			if _, err := fmt.Sscanf(v, "%g", &ms); err == nil && ms >= 0 {
+				out = append(out, stageTiming{name: name, durMs: ms})
+			}
+			break
+		}
+	}
+	return out
+}
+
 // run executes one load-generation campaign and builds the report.
 func run(cfg benchConfig) (Report, error) {
 	target := cfg.target
@@ -289,10 +356,13 @@ func run(cfg benchConfig) (Report, error) {
 			// Provision the embedded service's cold-plan gate to the
 			// drive concurrency, so the hermetic mode measures the
 			// serving path rather than deliberate admission shedding
-			// (use -url against a real daemon to measure that).
+			// (use -url against a real daemon to measure that). Sample
+			// every request so each response carries Server-Timing and
+			// the report's stage attribution covers the whole run.
 			h = service.New(service.Config{
 				ColdWorkers: cfg.clients,
 				ColdQueue:   8 * cfg.clients,
+				Tracer:      obs.New(obs.Config{SampleEvery: 1, Seed: cfg.seed}),
 			}).Handler()
 		}
 		client.Transport = handlerTransport{h: h}
@@ -347,6 +417,13 @@ func run(cfg benchConfig) (Report, error) {
 		}
 		rep.P50Ms, rep.P90Ms, rep.P99Ms = qs[0], qs[1], qs[2]
 	}
+	if len(coll.stages) > 0 {
+		rep.ServerTiming = make(map[string]StageReport, len(coll.stages))
+		for name, agg := range coll.stages {
+			agg.MeanMs = agg.TotalMs / float64(agg.Count)
+			rep.ServerTiming[name] = *agg
+		}
+	}
 	if cfg.sloP99 > 0 || cfg.sloErr >= 0 || cfg.sloQPS > 0 {
 		slo := &SLOReport{
 			P99Ms:        float64(cfg.sloP99.Nanoseconds()) / 1e6,
@@ -373,12 +450,13 @@ func send(client *http.Client, target string, it workItem, coll *collector) {
 	start := time.Now()
 	resp, err := client.Post(target+it.path, "application/json", strings.NewReader(it.body))
 	if err != nil {
-		coll.record(0, "", time.Since(start), true)
+		coll.record(0, "", "", time.Since(start), true)
 		return
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	coll.record(resp.StatusCode, resp.Header.Get(service.OutcomeHeader), time.Since(start), false)
+	coll.record(resp.StatusCode, resp.Header.Get(service.OutcomeHeader),
+		resp.Header.Get("Server-Timing"), time.Since(start), false)
 }
 
 // runClosed drives the closed loop: cfg.clients workers pull request

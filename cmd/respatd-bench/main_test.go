@@ -49,6 +49,43 @@ func TestClosedLoopSLO(t *testing.T) {
 	if rep.QPS <= 0 || rep.P99Ms <= 0 || rep.P99Ms < rep.P50Ms {
 		t.Fatalf("implausible latency report: qps=%v p50=%v p99=%v", rep.QPS, rep.P50Ms, rep.P99Ms)
 	}
+	// The hermetic service samples every request, so the stage
+	// attribution must cover the whole campaign.
+	app, ok := rep.ServerTiming["app"]
+	if !ok {
+		t.Fatalf("no app entry in server-timing attribution: %v", rep.ServerTiming)
+	}
+	if app.Count != 400 {
+		t.Fatalf("app timing covered %d of 400 requests", app.Count)
+	}
+	if app.MeanMs < 0 || app.TotalMs < app.MeanMs && app.Count > 1 {
+		t.Fatalf("implausible app timing: %+v", app)
+	}
+	if _, ok := rep.ServerTiming["decode"]; !ok {
+		t.Fatalf("no decode stage in server-timing attribution: %v", rep.ServerTiming)
+	}
+}
+
+// TestParseServerTiming pins the header subset respatd emits.
+func TestParseServerTiming(t *testing.T) {
+	got := parseServerTiming("app;dur=12.345, decode;dur=0.01, cache_lookup;dur=0")
+	want := []stageTiming{{"app", 12.345}, {"decode", 0.01}, {"cache_lookup", 0}}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if parseServerTiming("") != nil {
+		t.Fatal("empty header should parse to nil")
+	}
+	// Malformed entries are skipped, valid ones kept.
+	got = parseServerTiming("bad, alsobad;x=1, ok;dur=2.5, neg;dur=-1")
+	if len(got) != 1 || got[0] != (stageTiming{"ok", 2.5}) {
+		t.Fatalf("malformed header parsed to %v", got)
+	}
 }
 
 // TestSynthesizeDeterministic pins the workload to the seed: same

@@ -57,6 +57,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -64,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"respat/internal/obs"
 	"respat/internal/plantable"
 	"respat/internal/service"
 )
@@ -87,6 +89,12 @@ func main() {
 		ringVNodes     = flag.Int("ring-vnodes", 0, "virtual nodes per replica (0 = default; must agree across replicas)")
 		ringSeed       = flag.Uint64("ring-seed", 1, "consistent-hash placement seed (must agree across replicas)")
 		healthInterval = flag.Duration("health-interval", 5*time.Second, "peer health-check period (0 = no background checks)")
+
+		traceSample = flag.Int("trace-sample", 64, "sample 1 in N requests into a trace (1 = all, 0 = only forwarded trace IDs)")
+		traceRing   = flag.Int("trace-ring", 256, "completed traces retained for /debug/traces")
+		traceSlow   = flag.Duration("trace-slow", 0, "log sampled traces slower than this (0 = no slow log)")
+		traceSeed   = flag.Uint64("trace-seed", 1, "trace-sampling seed (deterministic across runs)")
+		debugAddr   = flag.String("debug-addr", "", "separate listener for /debug/pprof and /debug/traces (empty = no debug listener)")
 	)
 	var tables tableFlags
 	flag.Var(&tables, "plan-table", "precomputed plan-table file (cmd/plantable output); repeatable")
@@ -100,6 +108,16 @@ func main() {
 		ColdQueue:      *coldQueue,
 		DefaultTimeout: *reqTimeout,
 		Degraded:       *degraded,
+		// The tracer is always constructed: -trace-sample 0 disables the
+		// sampler but forwarded trace IDs are still honoured, so a
+		// cluster trace never loses a hop to one replica's configuration.
+		Tracer: obs.New(obs.Config{
+			SampleEvery:   *traceSample,
+			Ring:          *traceRing,
+			SlowThreshold: *traceSlow,
+			Seed:          *traceSeed,
+			Log:           log.New(os.Stderr, "respatd: ", log.LstdFlags),
+		}),
 	}
 	cluster := clusterFlags{
 		self:           *self,
@@ -108,7 +126,7 @@ func main() {
 		seed:           *ringSeed,
 		healthInterval: *healthInterval,
 	}
-	if err := run(*addr, cfg, tables, cluster, *drainTimeout, *quiet); err != nil {
+	if err := run(*addr, *debugAddr, cfg, tables, cluster, *drainTimeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "respatd:", err)
 		os.Exit(1)
 	}
@@ -155,7 +173,7 @@ func parsePeers(s string) ([]service.Member, error) {
 	return members, nil
 }
 
-func run(addr string, cfg service.Config, tables []string, cluster clusterFlags, drainTimeout time.Duration, quiet bool) error {
+func run(addr, debugAddr string, cfg service.Config, tables []string, cluster clusterFlags, drainTimeout time.Duration, quiet bool) error {
 	for _, path := range tables {
 		tbl, err := plantable.LoadFile(path)
 		if err != nil {
@@ -204,6 +222,13 @@ func run(addr string, cfg service.Config, tables []string, cluster clusterFlags,
 	if stopHealth != nil {
 		defer stopHealth()
 	}
+	if debugAddr != "" {
+		stopDebug, err := serveDebug(debugAddr, svc, logger)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -211,6 +236,32 @@ func run(addr string, cfg service.Config, tables []string, cluster clusterFlags,
 	logger.Printf("listening on %s (shards=%d capacity=%d batch-workers=%d max-sessions=%d cold-workers=%d cold-queue=%d request-timeout=%v degraded=%v plan-tables=%d)",
 		ln.Addr(), cfg.Shards, cfg.Capacity, cfg.BatchWorkers, cfg.MaxSessions, cfg.ColdWorkers, cfg.ColdQueue, cfg.DefaultTimeout, cfg.Degraded, len(cfg.Tables))
 	return serve(ln, svc, logger, drainTimeout, quiet)
+}
+
+// serveDebug starts the profiling/debug listener: net/http/pprof under
+// /debug/pprof plus the trace ring at /debug/traces, on its own
+// address so the profiling surface never shares a port (or an
+// operator's firewall rules) with the public API. Returns a closer.
+func serveDebug(addr string, svc *service.Service, logger *log.Logger) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-debug-addr %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", svc.DebugTraces)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("debug listener: %v", err)
+		}
+	}()
+	logger.Printf("debug listener on %s (/debug/pprof, /debug/traces)", ln.Addr())
+	return func() { srv.Close() }, nil
 }
 
 // serve runs the HTTP server on ln until SIGINT/SIGTERM, then drains
@@ -268,16 +319,21 @@ func (w *statusWriter) WriteHeader(status int) {
 
 // requestLog logs one line per request: method, path, status, duration,
 // plus the overload disposition (outcome=shed|degraded|deadline-exceeded)
-// when the service labelled one.
+// and the trace ID (trace=...) when the service labelled them — the
+// trace ID joins a log line to /debug/traces and to the error body the
+// client saw.
 func requestLog(logger *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
+		var extra string
 		if out := sw.Header().Get(service.OutcomeHeader); out != "" {
-			logger.Printf("%s %s %d %v outcome=%s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), out)
-			return
+			extra += " outcome=" + out
 		}
-		logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+		if id := sw.Header().Get(obs.TraceHeader); id != "" {
+			extra += " trace=" + id
+		}
+		logger.Printf("%s %s %d %v%s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), extra)
 	})
 }

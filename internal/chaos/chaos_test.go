@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"respat/internal/obs"
 	"respat/internal/service"
 )
 
@@ -325,6 +326,110 @@ func TestDeadlineExceeded(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("bad budget header: status = %d, want 400", rec.Code)
 	}
+}
+
+// traceByID finds one retained trace record, or fails the test.
+func traceByID(t *testing.T, svc *service.Service, id string) obs.Record {
+	t.Helper()
+	for _, rec := range svc.Tracer().Traces() {
+		if rec.ID == id {
+			return rec
+		}
+	}
+	t.Fatalf("no trace %q retained", id)
+	return obs.Record{}
+}
+
+// spanOutcome returns the outcome of the first span of the given stage,
+// or "" when the trace has none.
+func spanOutcome(rec obs.Record, stage string) string {
+	for _, sp := range rec.Spans {
+		if sp.Stage == stage {
+			return sp.Outcome
+		}
+	}
+	return ""
+}
+
+// TestShedTraceOutcomes: under overload with every request sampled, a
+// shed request's trace tells the story end to end — the record carries
+// the 429 and the shed outcome, and its gate_wait span ended "shed".
+func TestShedTraceOutcomes(t *testing.T) {
+	const workers, queue = 2, 4
+	inj := &Injector{PlannerDelay: 20 * time.Millisecond, PlannerJitter: 5 * time.Millisecond, Seed: 11}
+	svc := service.New(inj.Apply(service.Config{
+		ColdWorkers: workers, ColdQueue: queue,
+		Tracer: obs.New(obs.Config{SampleEvery: 1, Ring: 256}),
+	}))
+	rep := Drive(svc.Handler(), Options{
+		Clients:    4 * (workers + queue),
+		Requests:   96,
+		NewRequest: exactRequest, // distinct keys: every request leads its own flight
+	})
+
+	shed := 0
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if r.TraceID == "" {
+			t.Fatalf("request %d not sampled at SampleEvery=1", i)
+		}
+		if r.Status != http.StatusTooManyRequests {
+			continue
+		}
+		shed++
+		rec := traceByID(t, svc, r.TraceID)
+		if rec.Status != http.StatusTooManyRequests || rec.Outcome != "shed" {
+			t.Errorf("shed trace %s: status=%d outcome=%q, want 429/shed", rec.ID, rec.Status, rec.Outcome)
+		}
+		if got := spanOutcome(rec, "gate_wait"); got != "shed" {
+			t.Errorf("shed trace %s: gate_wait span outcome %q, want shed; spans %+v", rec.ID, got, rec.Spans)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no request was shed; the scenario exercised nothing")
+	}
+}
+
+// TestDegradedTraceOutcomes: a degraded-mode answer's trace records the
+// overload shape — the gate shed the cold plan (gate_wait "shed") and
+// the first-order fallback computed the answer (cold_compute
+// "degraded") — while the request still returned 200.
+func TestDegradedTraceOutcomes(t *testing.T) {
+	inj := &Injector{PlannerDelay: 50 * time.Millisecond, Seed: 12}
+	svc := service.New(inj.Apply(service.Config{
+		ColdWorkers: 1, ColdQueue: 1, Degraded: true,
+		Tracer: obs.New(obs.Config{SampleEvery: 1, Ring: 64}),
+	}))
+	h := svc.Handler()
+
+	for i := 0; i < 2; i++ { // saturate the worker slot and the queue
+		go func(i int) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, exactRequest(100+i))
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, exactRequest(0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded request returned %d: %s", rec.Code, rec.Body.String())
+	}
+	id := rec.Header().Get(obs.TraceHeader)
+	if id == "" {
+		t.Fatal("degraded response carries no trace ID at SampleEvery=1")
+	}
+	trace := traceByID(t, svc, id)
+	if trace.Status != http.StatusOK || trace.Outcome != "degraded" {
+		t.Errorf("trace status=%d outcome=%q, want 200/degraded", trace.Status, trace.Outcome)
+	}
+	if got := spanOutcome(trace, "gate_wait"); got != "shed" {
+		t.Errorf("gate_wait span outcome %q, want shed; spans %+v", got, trace.Spans)
+	}
+	if got := spanOutcome(trace, "cold_compute"); got != "degraded" {
+		t.Errorf("cold_compute span outcome %q, want degraded; spans %+v", got, trace.Spans)
+	}
+	WaitGoroutines(runtime.NumGoroutine(), 2*time.Second)
 }
 
 // TestJitterDeterministic pins the injector's jitter stream: same

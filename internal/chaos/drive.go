@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"respat/internal/obs"
 	"respat/internal/service"
 )
 
@@ -31,6 +32,10 @@ type Options struct {
 type Result struct {
 	Status  int
 	Outcome string // the X-Respatd-Outcome header ("" when absent)
+	// TraceID is the X-Respat-Trace response header: non-empty exactly
+	// when the service sampled the request, joining the result to the
+	// service's /debug/traces ring.
+	TraceID string
 	// RetryAfter is the parsed Retry-After header in seconds, 0 when
 	// absent.
 	RetryAfter int
@@ -117,6 +122,7 @@ func Drive(h http.Handler, opts Options) *Report {
 				res.Latency = time.Since(start)
 				res.Status = rec.Code
 				res.Outcome = rec.Header().Get(service.OutcomeHeader)
+				res.TraceID = rec.Header().Get(obs.TraceHeader)
 				if ra := rec.Header().Get("Retry-After"); ra != "" {
 					res.RetryAfter, _ = strconv.Atoi(ra)
 				}

@@ -1,0 +1,23 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key type carrying a *Trace.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tr. A nil trace returns ctx
+// unchanged, so the unsampled path allocates no derived context.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil. The lookup is
+// allocation-free, and every Trace method is nil-safe, so callers use
+// the result unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,72 @@
+package obs
+
+import "sync/atomic"
+
+// BucketBoundsNS are the fixed latency-histogram bucket upper bounds
+// in nanoseconds, shared by the per-endpoint and per-stage histograms
+// so Prometheus queries can aggregate across both. The range spans
+// sub-microsecond cache hits to multi-second cold multilevel searches;
+// observations above the last bound land in the implicit +Inf bucket.
+var BucketBoundsNS = [...]int64{
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, // µs range
+	1_000_000, 2_500_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000, // ms range
+	100_000_000, 250_000_000, 500_000_000, // sub-second
+	1_000_000_000, 2_500_000_000, 5_000_000_000, 10_000_000_000, // seconds
+}
+
+// NumBuckets is the number of finite buckets; the exposition adds the
+// +Inf bucket on top.
+const NumBuckets = len(BucketBoundsNS)
+
+// Histogram is a fixed-bucket latency histogram with atomic counters:
+// recording is lock-free and allocation-free, so it can sit on the
+// request path. The zero value is ready to use.
+type Histogram struct {
+	buckets [NumBuckets + 1]atomic.Int64 // last slot = +Inf overflow
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < NumBuckets && ns > BucketBoundsNS[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// HistSnapshot is one histogram's state, cumulative per the
+// Prometheus histogram convention: Cumulative[i] counts observations
+// ≤ BucketBoundsNS[i], and Count is the +Inf bucket.
+type HistSnapshot struct {
+	Cumulative [NumBuckets]int64
+	Count      int64
+	SumNS      int64
+}
+
+// Snapshot captures the histogram. Counters are read individually (no
+// global lock), so a snapshot taken during concurrent recording is
+// approximate; cumulativity is restored by construction, and the +Inf
+// bucket is forced to cover every bucketed observation so the
+// exposition always lints clean.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	var run int64
+	for i := 0; i < NumBuckets; i++ {
+		run += h.buckets[i].Load()
+		s.Cumulative[i] = run
+	}
+	run += h.buckets[NumBuckets].Load()
+	s.Count = max(run, h.count.Load())
+	s.SumNS = h.sumNS.Load()
+	return s
+}

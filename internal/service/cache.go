@@ -8,6 +8,7 @@ import (
 	"respat/internal/analytic"
 	"respat/internal/core"
 	"respat/internal/multilevel"
+	"respat/internal/obs"
 )
 
 // cache is the sharded LRU plan cache with singleflight request
@@ -167,7 +168,13 @@ func (c *cache) getOrCompute(ctx context.Context, key Key, compute func(context.
 				return nil, ctx.Err()
 			}
 		}
-		fctx, cancel := context.WithCancel(context.Background())
+		// The flight context descends from Background (the computation
+		// outlives any one waiter) but carries the leader's trace, so
+		// the gate and compute spans recorded inside the flight
+		// goroutine land on the request that started it. Spans arriving
+		// after that trace finished — the leader abandoned — are
+		// dropped by the trace itself.
+		fctx, cancel := context.WithCancel(obs.NewContext(context.Background(), obs.FromContext(ctx)))
 		f := &flight{done: make(chan struct{}), cancel: cancel, refs: 1}
 		s.inflight[key] = f
 		s.mu.Unlock()

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"respat/internal/cluster"
+	"respat/internal/obs"
 )
 
 // ForwardedHeader marks a peer-forwarded request. Its value is the
@@ -178,17 +179,30 @@ func (s *Service) forward(ctx context.Context, name, baseURL, path string, body 
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedHeader, s.clu.self)
+	// A sampled request ships its trace ID with the hop; the peer's
+	// tracer records its half of the trace under the same forced ID, so
+	// /debug/traces on both replicas join on one ID.
+	tr := obs.FromContext(ctx)
+	if id := tr.ID(); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+	hop := tr.Begin(obs.StagePeerForward)
 	resp, err := s.clu.client.Do(req)
 	if err != nil {
+		hop.EndPeer("error", name, "")
 		s.metrics.ForwardErrors.Add(1)
 		return nil, http.StatusBadGateway, fmt.Errorf("cluster: forward to %s: %w", name, err)
 	}
 	defer resp.Body.Close()
 	relayed, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
 	if err != nil {
+		hop.EndPeer("error", name, "")
 		s.metrics.ForwardErrors.Add(1)
 		return nil, http.StatusBadGateway, fmt.Errorf("cluster: reading %s's response: %w", name, err)
 	}
+	// The hop span stores the peer's Server-Timing verbatim: the remote
+	// half of the stitched trace, attributable without a second lookup.
+	hop.EndPeer("ok", name, resp.Header.Get("Server-Timing"))
 	s.metrics.Forwarded.Add(1)
 	d.out = outcome(resp.Header.Get(OutcomeHeader))
 	if ra := resp.Header.Get("Retry-After"); ra != "" {

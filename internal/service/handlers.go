@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"respat/internal/core"
+	"respat/internal/obs"
 	"respat/internal/platform"
 	"respat/internal/sched"
 )
@@ -94,8 +95,12 @@ type BatchResponse struct {
 }
 
 // errorBody is the JSON error envelope of every non-2xx response.
+// TraceID carries the request's trace ID when the request was sampled,
+// so a client error report joins against /debug/traces and the access
+// log without header archaeology.
 type errorBody struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // resolveConfig turns the (platform | costs+rates) request half into a
@@ -143,9 +148,26 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			s.WritePrometheus(w)
+			return
+		}
 		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), s.SessionCount(), s.gate, s.peersDown()))
 	})
+	mux.HandleFunc("GET /debug/traces", s.DebugTraces)
 	return mux
+}
+
+// DebugTraces serves the tracer's retained traces as JSON, most recent
+// first. It is on the API mux at GET /debug/traces and exported so
+// cmd/respatd can also mount it on the -debug-addr listener.
+func (s *Service) DebugTraces(w http.ResponseWriter, r *http.Request) {
+	recs := s.tracer.Traces()
+	if recs == nil {
+		recs = []obs.Record{}
+	}
+	writeJSON(w, http.StatusOK, recs)
 }
 
 // disposition carries response annotations from an endpoint handler
@@ -161,35 +183,50 @@ type disposition struct {
 // error with an HTTP status, and may annotate the response through d.
 type opHandler func(r *http.Request, d *disposition) ([]byte, int, error)
 
-// instrument wraps an endpoint with the in-flight gauge, the
-// per-request deadline budget, the request body limit, latency
-// recording, overload classification (shed → 429 + Retry-After,
-// expired budget → 503) and the error envelope.
+// instrument wraps an endpoint with the in-flight gauge, the trace
+// sampling decision, the per-request deadline budget, the request body
+// limit, latency recording, overload classification (shed → 429 +
+// Retry-After, expired budget → 503) and the error envelope. The
+// unsampled path adds one atomic add over the untraced build: Start
+// returns nil and every later trace call is a nil-guarded no-op.
 func (s *Service) instrument(ep endpointID, maxBytes int64, h opHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.InFlight.Add(1)
+		tr := s.tracer.Start(ep.String(), r.Header.Get(obs.TraceHeader), r.Header.Get(ForwardedHeader))
 		start := time.Now()
-		failed := true
-		// Deferred so a handler panic (recovered by net/http) cannot
-		// leak the in-flight gauge or skip the latency observation.
+		// 500 until a handler outcome overwrites it, so a handler panic
+		// (recovered by net/http) still counts as a server error.
+		status := http.StatusInternalServerError
+		var d disposition
+		// Deferred so a handler panic cannot leak the in-flight gauge
+		// or skip the latency observation and trace retirement.
 		defer func() {
 			s.metrics.InFlight.Add(-1)
-			s.metrics.observe(ep, float64(time.Since(start).Nanoseconds()), failed)
+			s.metrics.observe(ep, float64(time.Since(start).Nanoseconds()), status)
+			tr.Finish(status, string(d.out))
 		}()
 		budget, err := requestBudget(r, s.cfg.DefaultTimeout)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			status = http.StatusBadRequest
+			setTraceHeaders(w, tr)
+			writeJSON(w, status, errorBody{Error: err.Error(), TraceID: tr.ID()})
 			return
 		}
+		ctx := r.Context()
 		if budget > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, budget)
 			defer cancel()
+		}
+		if tr != nil {
+			ctx = obs.NewContext(ctx, tr)
+		}
+		if ctx != r.Context() {
 			r = r.WithContext(ctx)
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
-		var d disposition
-		body, status, err := h(r, &d)
-		failed = err != nil
+		body, st, err := h(r, &d)
+		status = st
 		if err != nil {
 			var tooBig *http.MaxBytesError
 			switch {
@@ -208,14 +245,18 @@ func (s *Service) instrument(ep endpointID, maxBytes int64, h opHandler) http.Ha
 				err = fmt.Errorf("deadline exceeded: %w", err)
 			}
 			setOutcome(w, d.out)
-			writeJSON(w, status, errorBody{Error: err.Error()})
+			setTraceHeaders(w, tr)
+			writeJSON(w, status, errorBody{Error: err.Error(), TraceID: tr.ID()})
 			return
 		}
 		if d.retryAfter > 0 {
 			w.Header().Set("Retry-After", strconv.Itoa(d.retryAfter))
 		}
 		setOutcome(w, d.out)
+		setTraceHeaders(w, tr)
+		enc := tr.Begin(obs.StageEncode)
 		writeBytes(w, status, body)
+		enc.End("")
 	}
 }
 
@@ -224,6 +265,20 @@ func setOutcome(w http.ResponseWriter, out outcome) {
 	if out != "" {
 		w.Header().Set(OutcomeHeader, string(out))
 	}
+}
+
+// setTraceHeaders stamps a sampled request's response with its trace ID
+// and the Server-Timing stage summary (spans recorded so far — the
+// encode stage necessarily postdates the headers and appears only in
+// the trace record). The bench client aggregates Server-Timing to
+// attribute observed latency; the entry replica of a forwarded request
+// stores the peer's value on the hop span.
+func setTraceHeaders(w http.ResponseWriter, tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	w.Header().Set(obs.TraceHeader, tr.ID())
+	w.Header().Set("Server-Timing", tr.ServerTiming())
 }
 
 // requestBudget resolves a request's deadline budget: the
@@ -259,7 +314,10 @@ func (s *Service) handlePlan(r *http.Request, d *disposition) ([]byte, int, erro
 	// keys this replica computed, typically while it owned them), then
 	// a peer-owned key forwards; PlanCtx handles the rest locally.
 	key := EncodeKey(ModePlan, kind, costs, rates)
-	if resp, ok := s.cache.get(key); ok {
+	tm := obs.FromContext(r.Context()).Begin(obs.StageCacheLookup)
+	resp, ok := s.cache.get(key)
+	tm.End(hitMiss(ok))
+	if ok {
 		return resp, http.StatusOK, nil
 	}
 	if name, baseURL, ok := s.routePeer(r, key); ok {
@@ -280,10 +338,14 @@ func (s *Service) handlePlanExact(r *http.Request, d *disposition) ([]byte, int,
 	// Serving order: local cache, plan table (interpolation — never
 	// enters the cold gate), owning peer, local cold path.
 	key := EncodeKey(ModePlanExact, kind, costs, rates)
-	if resp, ok := s.cache.get(key); ok {
+	tr := obs.FromContext(r.Context())
+	tm := tr.Begin(obs.StageCacheLookup)
+	resp, ok := s.cache.get(key)
+	tm.End(hitMiss(ok))
+	if ok {
 		return resp, http.StatusOK, nil
 	}
-	if resp, ok := s.planFromTable(kind, costs, rates); ok {
+	if resp, ok := s.planFromTable(r.Context(), kind, costs, rates); ok {
 		return resp, http.StatusOK, nil
 	}
 	if name, baseURL, ok := s.routePeer(r, key); ok {
@@ -292,11 +354,15 @@ func (s *Service) handlePlanExact(r *http.Request, d *disposition) ([]byte, int,
 	body, err := s.PlanExactCtx(r.Context(), kind, costs, rates)
 	if err != nil {
 		if s.degradable(err) {
-			if body, derr := s.DegradedPlanExact(kind, costs, rates); derr == nil {
+			cc := tr.Begin(obs.StageColdCompute)
+			body, derr := s.DegradedPlanExact(kind, costs, rates)
+			if derr == nil {
+				cc.End("degraded")
 				d.out = outcomeDegraded
 				s.metrics.Degraded.Add(1)
 				return body, http.StatusOK, nil
 			}
+			cc.End("error")
 		}
 		return nil, http.StatusBadRequest, err
 	}
@@ -391,8 +457,10 @@ func (s *Service) batchItem(ctx context.Context, item BatchItem) json.RawMessage
 // decodePlanRequest parses and resolves the shared plan request body.
 // It also returns the raw body bytes, which the cluster forwarding
 // path replays to the owning peer unmodified.
-func decodePlanRequest(r *http.Request) ([]byte, core.Kind, core.Costs, core.Rates, error) {
-	raw, err := io.ReadAll(r.Body)
+func decodePlanRequest(r *http.Request) (raw []byte, kind core.Kind, costs core.Costs, rates core.Rates, err error) {
+	tm := obs.FromContext(r.Context()).Begin(obs.StageDecode)
+	defer func() { tm.End(errOutcome(err)) }()
+	raw, err = io.ReadAll(r.Body)
 	if err != nil {
 		return nil, 0, core.Costs{}, core.Rates{}, fmt.Errorf("bad request body: %w", err)
 	}
@@ -400,21 +468,31 @@ func decodePlanRequest(r *http.Request) ([]byte, core.Kind, core.Costs, core.Rat
 	if err := decodeJSON(raw, &req); err != nil {
 		return nil, 0, core.Costs{}, core.Rates{}, err
 	}
-	kind, err := core.ParseKind(req.Kind)
+	kind, err = core.ParseKind(req.Kind)
 	if err != nil {
 		return nil, 0, core.Costs{}, core.Rates{}, err
 	}
-	costs, rates, err := resolveConfig(req.Platform, req.Costs, req.Rates)
+	costs, rates, err = resolveConfig(req.Platform, req.Costs, req.Rates)
 	if err != nil {
 		return nil, 0, core.Costs{}, core.Rates{}, err
 	}
 	return raw, kind, costs, rates, nil
 }
 
+// errOutcome labels a span by whether its stage failed.
+func errOutcome(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}
+
 // decodeBody strictly decodes one JSON body: unknown fields and
 // trailing garbage are errors, so client typos fail loudly instead of
 // silently planning defaults.
-func decodeBody(r *http.Request, v any) error {
+func decodeBody(r *http.Request, v any) (err error) {
+	tm := obs.FromContext(r.Context()).Begin(obs.StageDecode)
+	defer func() { tm.End(errOutcome(err)) }()
 	raw, err := io.ReadAll(r.Body)
 	if err != nil {
 		return fmt.Errorf("bad request body: %w", err)

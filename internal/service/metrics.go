@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"respat/internal/obs"
 	"respat/internal/stats"
 )
 
@@ -94,11 +95,17 @@ func (e endpointID) String() string {
 	}
 }
 
-// endpointMetrics tracks one endpoint's request count, error count and
-// a ring of recent latencies.
+// endpointMetrics tracks one endpoint's request count, error counts
+// (client 4xx and server 5xx separately — a spike of bad requests and
+// a spike of overload look identical when pooled), a ring of recent
+// latencies for the JSON quantiles, and a fixed-bucket histogram for
+// the Prometheus exposition.
 type endpointMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64
+	requests  atomic.Int64
+	errors4xx atomic.Int64
+	errors5xx atomic.Int64
+
+	hist obs.Histogram
 
 	mu     sync.Mutex
 	ring   [latencyWindow]float64 // nanoseconds
@@ -106,13 +113,18 @@ type endpointMetrics struct {
 	next   int                    // ring write cursor
 }
 
-// observe records one request outcome with its latency in nanoseconds.
-func (m *Metrics) observe(ep endpointID, latencyNS float64, failed bool) {
+// observe records one request outcome with its latency in nanoseconds
+// and final HTTP status.
+func (m *Metrics) observe(ep endpointID, latencyNS float64, status int) {
 	e := &m.endpoints[ep]
 	e.requests.Add(1)
-	if failed {
-		e.errors.Add(1)
+	switch {
+	case status >= 500:
+		e.errors5xx.Add(1)
+	case status >= 400:
+		e.errors4xx.Add(1)
 	}
+	e.hist.Observe(int64(latencyNS))
 	e.mu.Lock()
 	e.ring[e.next] = latencyNS
 	e.next = (e.next + 1) % latencyWindow
@@ -131,10 +143,14 @@ type LatencyQuantiles struct {
 }
 
 // EndpointSnapshot is one endpoint's row in the metrics report.
+// Errors remains the total for report stability; ClientErrors (4xx)
+// and ServerErrors (5xx) split it by responsibility.
 type EndpointSnapshot struct {
-	Requests int64            `json:"requests"`
-	Errors   int64            `json:"errors"`
-	Latency  LatencyQuantiles `json:"latency"`
+	Requests     int64            `json:"requests"`
+	Errors       int64            `json:"errors"`
+	ClientErrors int64            `json:"clientErrors"`
+	ServerErrors int64            `json:"serverErrors"`
+	Latency      LatencyQuantiles `json:"latency"`
 }
 
 // Snapshot is the JSON document served by GET /metrics.
@@ -195,20 +211,28 @@ func (m *Metrics) snapshot(cacheEntries, sessions int, g *gate, peersDown int) S
 		PeersDown:        peersDown,
 		Endpoints:        make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
+	// One scratch buffer serves every endpoint: each ring is copied out
+	// under its lock, then sorted in place outside it, so a scrape costs
+	// one latencyWindow allocation total instead of one per endpoint.
+	scratch := make([]float64, latencyWindow)
 	for id := range m.endpoints {
 		e := &m.endpoints[id]
 		e.mu.Lock()
-		window := append([]float64(nil), e.ring[:e.filled]...)
+		window := scratch[:e.filled]
+		copy(window, e.ring[:e.filled])
 		e.mu.Unlock()
+		c4, c5 := e.errors4xx.Load(), e.errors5xx.Load()
 		snap := EndpointSnapshot{
-			Requests: e.requests.Load(),
-			Errors:   e.errors.Load(),
+			Requests:     e.requests.Load(),
+			Errors:       c4 + c5,
+			ClientErrors: c4,
+			ServerErrors: c5,
 		}
 		snap.Latency.Count = int64(len(window))
 		if len(window) > 0 {
-			// One sort for all three quantiles; stats.Quantiles only
+			// One sort for all three quantiles; QuantilesInPlace only
 			// fails on empty data or q outside [0,1], both excluded.
-			if qs, err := stats.Quantiles(window, 0.50, 0.90, 0.99); err == nil {
+			if qs, err := stats.QuantilesInPlace(window, 0.50, 0.90, 0.99); err == nil {
 				snap.Latency.P50, snap.Latency.P90, snap.Latency.P99 = qs[0], qs[1], qs[2]
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"respat/internal/multilevel"
+	"respat/internal/obs"
 	"respat/internal/platform"
 )
 
@@ -69,7 +70,10 @@ func (s *Service) PlanMultilevelCtx(ctx context.Context, p multilevel.Params) ([
 		return nil, err
 	}
 	key := EncodeMultilevelKey(p)
-	if resp, ok := s.cache.get(key); ok {
+	tm := obs.FromContext(ctx).Begin(obs.StageCacheLookup)
+	resp, ok := s.cache.get(key)
+	tm.End(hitMiss(ok))
+	if ok {
 		return resp, nil
 	}
 	if err := s.tooTight(ctx); err != nil {
@@ -132,26 +136,36 @@ func (s *Service) DegradedPlanMultilevel(p multilevel.Params) ([]byte, error) {
 }
 
 func (s *Service) handlePlanMultilevel(r *http.Request, d *disposition) ([]byte, int, error) {
+	tr := obs.FromContext(r.Context())
+	dec := tr.Begin(obs.StageDecode)
 	raw, err := io.ReadAll(r.Body)
 	if err != nil {
+		dec.End("error")
 		return nil, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
 	}
 	var req MultilevelPlanRequest
 	if err := decodeJSON(raw, &req); err != nil {
+		dec.End("error")
 		return nil, http.StatusBadRequest, err
 	}
 	params, err := resolveMultilevelConfig(req)
 	if err != nil {
+		dec.End("error")
 		return nil, http.StatusBadRequest, err
 	}
 	// EncodeMultilevelKey requires validated params (the level vector
 	// must fit the fixed-width key); PlanMultilevelCtx re-validates,
 	// which is cheap.
 	if err := params.Validate(); err != nil {
+		dec.End("error")
 		return nil, http.StatusBadRequest, err
 	}
+	dec.End("ok")
 	key := EncodeMultilevelKey(params)
-	if resp, ok := s.cache.get(key); ok {
+	tm := tr.Begin(obs.StageCacheLookup)
+	resp, ok := s.cache.get(key)
+	tm.End(hitMiss(ok))
+	if ok {
 		return resp, http.StatusOK, nil
 	}
 	if name, baseURL, ok := s.routePeer(r, key); ok {
@@ -160,11 +174,15 @@ func (s *Service) handlePlanMultilevel(r *http.Request, d *disposition) ([]byte,
 	body, err := s.PlanMultilevelCtx(r.Context(), params)
 	if err != nil {
 		if s.degradable(err) {
-			if body, derr := s.DegradedPlanMultilevel(params); derr == nil {
+			cc := tr.Begin(obs.StageColdCompute)
+			body, derr := s.DegradedPlanMultilevel(params)
+			if derr == nil {
+				cc.End("degraded")
 				d.out = outcomeDegraded
 				s.metrics.Degraded.Add(1)
 				return body, http.StatusOK, nil
 			}
+			cc.End("error")
 		}
 		return nil, http.StatusBadRequest, err
 	}

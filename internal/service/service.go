@@ -11,6 +11,7 @@ import (
 	"respat/internal/adapt"
 	"respat/internal/analytic"
 	"respat/internal/core"
+	"respat/internal/obs"
 	"respat/internal/optimize"
 	"respat/internal/plantable"
 )
@@ -66,6 +67,10 @@ type Config struct {
 	// build them); the slice is read concurrently and must not be
 	// mutated after New.
 	Tables []*plantable.Table
+	// Tracer samples and records per-request traces (internal/obs).
+	// nil disables tracing entirely; every trace call site is nil-safe,
+	// so the hot path pays nothing beyond one atomic add per request.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills unset fields.
@@ -102,6 +107,8 @@ type Service struct {
 	cache   *cache
 	gate    *gate
 	metrics Metrics
+	tracer  *obs.Tracer // cfg.Tracer; nil disables tracing
+	started time.Time
 
 	sessMu   sync.Mutex
 	sessions map[string]*adapt.Session
@@ -113,11 +120,16 @@ type Service struct {
 
 // New builds a Service. The zero Config is valid and gets defaults.
 func New(cfg Config) *Service {
-	s := &Service{cfg: cfg.withDefaults()}
+	s := &Service{cfg: cfg.withDefaults(), started: time.Now()}
+	s.tracer = s.cfg.Tracer
 	s.cache = newCache(s.cfg.Shards, s.cfg.Capacity, &s.metrics)
 	s.gate = newGate(s.cfg.ColdWorkers, s.cfg.ColdQueue)
 	return s
 }
+
+// Tracer exposes the service's tracer (nil when tracing is disabled);
+// cmd/respatd mounts /debug/traces on the debug listener through it.
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
 
 // Metrics exposes the service counters (live; callers read atomics or
 // take a Snapshot via the /metrics endpoint).
@@ -177,10 +189,21 @@ func (s *Service) PlanCtx(ctx context.Context, kind core.Kind, costs core.Costs,
 		return nil, fmt.Errorf("service: invalid pattern kind %d", int(kind))
 	}
 	key := EncodeKey(ModePlan, kind, costs, rates)
-	if resp, ok := s.cache.get(key); ok {
+	tm := obs.FromContext(ctx).Begin(obs.StageCacheLookup)
+	resp, ok := s.cache.get(key)
+	tm.End(hitMiss(ok))
+	if ok {
 		return resp, nil
 	}
 	return s.planCold(ctx, key, kind, costs, rates)
+}
+
+// hitMiss labels a cache or table probe's span outcome.
+func hitMiss(ok bool) string {
+	if ok {
+		return "hit"
+	}
+	return "miss"
 }
 
 // planCold is the miss path of Plan, split out so the hot path does not
@@ -217,10 +240,13 @@ func (s *Service) PlanExactCtx(ctx context.Context, kind core.Kind, costs core.C
 		return nil, fmt.Errorf("service: invalid pattern kind %d", int(kind))
 	}
 	key := EncodeKey(ModePlanExact, kind, costs, rates)
-	if resp, ok := s.cache.get(key); ok {
+	tm := obs.FromContext(ctx).Begin(obs.StageCacheLookup)
+	resp, ok := s.cache.get(key)
+	tm.End(hitMiss(ok))
+	if ok {
 		return resp, nil
 	}
-	if resp, ok := s.planFromTable(kind, costs, rates); ok {
+	if resp, ok := s.planFromTable(ctx, kind, costs, rates); ok {
 		return resp, nil
 	}
 	if err := s.tooTight(ctx); err != nil {
@@ -237,7 +263,11 @@ func (s *Service) PlanExactCtx(ctx context.Context, kind core.Kind, costs core.C
 // already microseconds of arithmetic. Out-of-grid configurations fall
 // through to the ordinary cold path (admission gate included)
 // unchanged.
-func (s *Service) planFromTable(kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, bool) {
+func (s *Service) planFromTable(ctx context.Context, kind core.Kind, costs core.Costs, rates core.Rates) ([]byte, bool) {
+	if len(s.cfg.Tables) == 0 {
+		return nil, false
+	}
+	tm := obs.FromContext(ctx).Begin(obs.StageTable)
 	for _, t := range s.cfg.Tables {
 		ans, ok := t.Lookup(kind, costs, rates)
 		if !ok {
@@ -253,11 +283,14 @@ func (s *Service) planFromTable(kind core.Kind, costs core.Costs, rates core.Rat
 			Overhead:     ans.Overhead,
 		})
 		if err != nil {
+			tm.End("miss")
 			return nil, false
 		}
 		s.metrics.TableHits.Add(1)
+		tm.End("hit")
 		return b, true
 	}
+	tm.End("miss")
 	return nil, false
 }
 
@@ -297,22 +330,38 @@ func (s *Service) planExactCold(ctx context.Context, key Key, kind core.Kind, co
 // queued computation whose every requester abandoned leaves the queue
 // instead of occupying it.
 func (s *Service) gated(ctx context.Context, fn func(context.Context) ([]byte, error)) ([]byte, error) {
+	// ctx is the flight context; cache.getOrCompute stitched the flight
+	// leader's trace into it, so the gate and compute spans land on the
+	// trace of the request that started this computation.
+	tr := obs.FromContext(ctx)
+	gw := tr.Begin(obs.StageGateWait)
 	if err := s.gate.acquire(ctx); err != nil {
 		if err == ErrShed {
 			s.metrics.Shed.Add(1)
+			gw.End("shed")
+		} else {
+			gw.End("cancelled")
 		}
 		return nil, err
 	}
+	gw.End("admitted")
 	defer s.gate.release()
 	s.metrics.Admitted.Add(1)
+	cc := tr.Begin(obs.StageColdCompute)
 	if s.cfg.ColdFault != nil {
 		if err := s.cfg.ColdFault(ctx); err != nil {
+			cc.End("error")
 			return nil, err
 		}
 	}
 	start := s.cfg.Now()
 	resp, err := fn(ctx)
 	s.gate.observe(s.cfg.Now().Sub(start))
+	if err != nil {
+		cc.End("error")
+	} else {
+		cc.End("ok")
+	}
 	return resp, err
 }
 

@@ -140,6 +140,22 @@ func Quantiles(xs []float64, qs ...float64) ([]float64, error) {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return quantilesSorted(sorted, qs)
+}
+
+// QuantilesInPlace is Quantiles over a caller-owned scratch buffer: xs
+// is sorted in place and no copy is made, so a caller that reuses one
+// buffer across calls (the /metrics snapshot iterating endpoints) pays
+// no per-call allocation beyond the small result slice.
+func QuantilesInPlace(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	sort.Float64s(xs)
+	return quantilesSorted(xs, qs)
+}
+
+func quantilesSorted(sorted []float64, qs []float64) ([]float64, error) {
 	out := make([]float64, len(qs))
 	for i, q := range qs {
 		if q < 0 || q > 1 {

@@ -18,6 +18,12 @@
 # and a fixed-seed respatd-bench closed-loop run records the first
 # serving-SLO snapshot inside the same BENCH_<date>.json under
 # "respatd_bench" (failing the script if its SLO check fails).
+# The PR 10 observability gates: BenchmarkServicePlanHot now runs with
+# the tracer compiled in and sampling enabled, so its 0-alloc and
+# 2500ns gates also pin the tracing overhead on the unsampled hot
+# path; BenchmarkTraceRecord (a fully sampled trace: start, three
+# spans, ring push) must stay under 10µs; BenchmarkPromScrape (the
+# whole Prometheus exposition) under 2ms.
 #
 # Usage: scripts/bench.sh [outdir] [benchtime]
 #   outdir    where to write BENCH_<date>.json (default: .)
@@ -76,7 +82,7 @@ fi
 # "regression" between the 2026-07 snapshots).
 gateraw=$(mktemp)
 trap 'rm -f "$raw" "$gateraw"' EXIT
-go test -run '^$' -bench 'BenchmarkMultilevelPlan$|BenchmarkSimulatePattern$|BenchmarkFleetSmall$|BenchmarkServicePlanHot$|BenchmarkRingRoute$' \
+go test -run '^$' -bench 'BenchmarkMultilevelPlan$|BenchmarkSimulatePattern$|BenchmarkFleetSmall$|BenchmarkServicePlanHot$|BenchmarkRingRoute$|BenchmarkTraceRecord$|BenchmarkPromScrape$' \
     -benchtime 20x -benchmem . | tee "$gateraw"
 if awk '
     /^BenchmarkMultilevelPlan/ {
@@ -102,6 +108,14 @@ if awk '
     /^BenchmarkRingRoute/ {
         for (i = 2; i < NF; i++)
             if ($(i+1) == "ns/op" && $i + 0 > 1000) { print "gate: RingRoute " $i " ns/op > 1000ns (owner lookup must stay off the hot path)"; bad = 1 }
+    }
+    /^BenchmarkTraceRecord/ {
+        for (i = 2; i < NF; i++)
+            if ($(i+1) == "ns/op" && $i + 0 > 10000) { print "gate: TraceRecord " $i " ns/op > 10µs (sampled-trace overhead)"; bad = 1 }
+    }
+    /^BenchmarkPromScrape/ {
+        for (i = 2; i < NF; i++)
+            if ($(i+1) == "ns/op" && $i + 0 > 2000000) { print "gate: PromScrape " $i " ns/op > 2ms (exposition render)"; bad = 1 }
     }
     END { exit bad }' "$gateraw"; then
     :
